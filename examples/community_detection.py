@@ -1,0 +1,67 @@
+"""Community detection against ground truth (the paper's Table-8 scenario).
+
+Generates a planted-partition graph whose communities are known, seeds local
+clustering from members of those communities, and scores each method by the
+F1 measure between the produced cluster and the seed's true community —
+exactly the protocol of §7.6 of the paper, at laptop scale.
+
+Run with:  python examples/community_detection.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import HKPRParams, local_cluster
+from repro.clustering.quality import cluster_f1
+from repro.graph.communities import planted_partition_with_communities
+
+METHODS = ("tea+", "tea", "hk-relax", "monte-carlo")
+
+
+def main() -> None:
+    graph, communities = planted_partition_with_communities(
+        num_communities=12, community_size=40, p_in=0.4, p_out=0.0025, seed=3
+    )
+    print(
+        f"planted-partition graph: n={graph.num_nodes}, m={graph.num_edges}, "
+        f"{len(communities)} ground-truth communities of 40 nodes"
+    )
+
+    params = HKPRParams(t=5.0, eps_r=0.5, delta=1.0 / graph.num_nodes, p_f=1e-6)
+    seeds = communities.sample_seeds(8, min_community_size=20, seed=11)
+    print(f"seed nodes: {seeds}\n")
+
+    print(f"{'method':<14} {'avg F1':>8} {'avg time (ms)':>14} {'avg size':>9}")
+    for method in METHODS:
+        kwargs = {"num_walks": 20_000} if method == "monte-carlo" else {}
+        total_f1 = 0.0
+        total_ms = 0.0
+        total_size = 0
+        for seed_node in seeds:
+            start = time.perf_counter()
+            result = local_cluster(
+                graph,
+                seed_node,
+                method=method,
+                params=params,
+                rng=seed_node,
+                estimator_kwargs=kwargs,
+            )
+            total_ms += (time.perf_counter() - start) * 1000
+            total_f1 += cluster_f1(result.cluster, seed_node, communities)
+            total_size += result.size
+        count = len(seeds)
+        print(
+            f"{method:<14} {total_f1 / count:>8.3f} {total_ms / count:>14.1f} "
+            f"{total_size / count:>9.1f}"
+        )
+
+    print(
+        "\nExpected shape (paper, Table 8): TEA+ ties or beats every baseline "
+        "on F1 while being the fastest."
+    )
+
+
+if __name__ == "__main__":
+    main()

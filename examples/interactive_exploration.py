@@ -1,0 +1,85 @@
+"""Interactive exploration of a social graph (the paper's "Bob & Elon" story).
+
+The paper motivates local clustering with an analyst who starts from one
+account in a huge follower graph, inspects its cluster, picks an interesting
+member of that cluster, and repeats — requiring every query to finish in
+interactive time and to depend on the size of the *cluster*, not the graph.
+
+This example simulates that session on a community-structured graph with
+pronounced hubs: starting from the highest-degree node (the "Elon"
+surrogate), it runs a TEA+ local-clustering query, picks the most prominent
+other member of the returned cluster (the "Kevin Rose" surrogate), and
+explores that node's cluster next, reporting per-query latency and how much
+work each query performed.
+
+Run with:  python examples/interactive_exploration.py
+"""
+
+from __future__ import annotations
+
+from repro import HKPRParams, local_cluster
+from repro.graph.communities import planted_partition_with_communities
+
+
+def describe(result, graph, label: str) -> None:
+    counters = result.hkpr.counters
+    print(f"--- {label} ---")
+    print(f"seed degree        : {graph.degree(result.seed)}")
+    print(f"cluster size       : {result.size} of {graph.num_nodes} nodes")
+    print(f"conductance        : {result.conductance:.4f}")
+    print(f"query time         : {result.elapsed_seconds * 1000:.1f} ms")
+    print(f"push operations    : {counters.push_operations}")
+    print(f"random walks       : {counters.random_walks}")
+    print()
+
+
+def main() -> None:
+    # A "follower graph" surrogate: 40 communities of 100 accounts each.
+    graph, communities = planted_partition_with_communities(
+        num_communities=40, community_size=100, p_in=0.08, p_out=0.0008, seed=21
+    )
+    params = HKPRParams(t=5.0, eps_r=0.5, delta=1.0 / graph.num_nodes, p_f=1e-6)
+    print(
+        f"social-graph surrogate: n={graph.num_nodes}, m={graph.num_edges}, "
+        f"max degree={max(graph.degree(v) for v in graph.nodes())}\n"
+    )
+
+    # Step 1: Bob starts from the most-followed account ("Elon").
+    first_seed = max(graph.nodes(), key=graph.degree)
+    first = local_cluster(graph, first_seed, method="tea+", params=params, rng=1)
+    describe(first, graph, f"query 1: cluster of hub node {first_seed}")
+
+    # Step 2: he picks the most prominent other member of that cluster
+    # ("Kevin Rose") and explores *its* neighborhood.
+    candidates = sorted(
+        (node for node in first.cluster if node != first_seed),
+        key=graph.degree,
+        reverse=True,
+    )
+    second_seed = candidates[0]
+    second = local_cluster(graph, second_seed, method="tea+", params=params, rng=2)
+    describe(second, graph, f"query 2: cluster of node {second_seed}")
+
+    overlap = len(first.cluster & second.cluster)
+    jaccard = overlap / len(first.cluster | second.cluster)
+    print(
+        f"the two clusters share {overlap} nodes (Jaccard {jaccard:.2f}) — the second "
+        "query refines the exploration rather than repeating it."
+    )
+
+    truth = communities.communities_of(first_seed)
+    if truth:
+        inside = len(first.cluster & set(truth[0]))
+        print(
+            f"query 1 recovered {inside} of the {len(truth[0])} members of the seed's "
+            "true community."
+        )
+    print(
+        "\nEach query's cost is governed by the cluster being explored (pushes + "
+        "walks above), not by the total size of the graph — this is what makes "
+        "interactive, hop-by-hop exploration of massive graphs feasible."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Ranking accuracy of approximate HKPR (the paper's §7.5 experiment).
+
+Computes ground-truth normalized HKPR with the power method, runs every
+estimator at a few accuracy settings, and reports the NDCG of the induced
+ranking together with the work performed — a miniature version of Figure 6.
+
+Run with:  python examples/ranking_accuracy.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import HKPRParams, generators
+from repro.hkpr import cluster_hkpr, exact_hkpr, hk_relax, monte_carlo_hkpr, tea, tea_plus
+from repro.ranking.ndcg import ndcg_of_estimate
+
+
+def main() -> None:
+    graph = generators.powerlaw_cluster_graph(1500, 5, 0.4, seed=9)
+    seed_node = 17
+    params = HKPRParams(t=5.0, eps_r=0.5, delta=1.0 / graph.num_nodes, p_f=1e-6)
+
+    print(f"graph: n={graph.num_nodes}, m={graph.num_edges}; seed node {seed_node}\n")
+    truth = exact_hkpr(graph, seed_node, params).to_dense(graph)
+
+    runs = [
+        ("tea+ (delta=1/n)", lambda: tea_plus(graph, seed_node, params, rng=1)),
+        ("tea  (delta=1/n)", lambda: tea(graph, seed_node, params, rng=1, max_pushes=200_000)),
+        ("hk-relax (eps_a=1e-4)", lambda: hk_relax(graph, seed_node, params, eps_a=1e-4)),
+        ("hk-relax (eps_a=1e-2)", lambda: hk_relax(graph, seed_node, params, eps_a=1e-2)),
+        (
+            "monte-carlo (20k walks)",
+            lambda: monte_carlo_hkpr(graph, seed_node, params, rng=1, num_walks=20_000),
+        ),
+        (
+            "monte-carlo (2k walks)",
+            lambda: monte_carlo_hkpr(graph, seed_node, params, rng=1, num_walks=2_000),
+        ),
+        (
+            "cluster-hkpr (eps=0.1)",
+            lambda: cluster_hkpr(graph, seed_node, params, eps=0.1, rng=1, num_walks=20_000),
+        ),
+    ]
+
+    print(f"{'estimator':<26} {'NDCG@100':>9} {'time (ms)':>10} {'work units':>11}")
+    for label, runner in runs:
+        start = time.perf_counter()
+        estimate = runner()
+        elapsed_ms = (time.perf_counter() - start) * 1000
+        score = ndcg_of_estimate(graph, estimate, truth, k=100)
+        print(
+            f"{label:<26} {score:>9.4f} {elapsed_ms:>10.1f} "
+            f"{estimate.counters.total_work:>11}"
+        )
+
+    print(
+        "\nExpected shape (paper, Figure 6): the push-based methods reach "
+        "near-perfect NDCG cheaply; sampling methods need far more work for "
+        "the same ranking quality, and degrade sharply when under-budgeted."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""repro — heat kernel PageRank estimation and local graph clustering.
+
+A from-scratch reproduction of *"Efficient Estimation of Heat Kernel
+PageRank for Local Clustering"* (Yang et al., SIGMOD 2019).  The package
+provides:
+
+* the paper's algorithms **TEA** and **TEA+** with their push primitives
+  (HK-Push, HK-Push+) and hop-conditioned random walks,
+* every baseline the paper compares against (Monte-Carlo, ClusterHKPR,
+  HK-Relax, SimpleLocal, CRD, plus Nibble and PR-Nibble),
+* the shared local-clustering machinery (conductance, sweep cut, quality
+  metrics, NDCG ranking accuracy),
+* a graph substrate with synthetic generators standing in for the paper's
+  SNAP datasets, and
+* a benchmark harness that regenerates every table and figure of the
+  paper's evaluation section (see ``benchmarks/`` and ``EXPERIMENTS.md``).
+
+Quickstart
+----------
+>>> from repro import HKPRParams, generators, local_cluster
+>>> graph = generators.powerlaw_cluster_graph(2000, 5, 0.3, seed=1)
+>>> result = local_cluster(graph, seed=0, method="tea+", rng=1)
+>>> result.contains_seed()
+True
+"""
+
+from repro.clustering import (
+    LocalClusteringResult,
+    SweepResult,
+    conductance,
+    local_cluster,
+    sweep_cut,
+)
+from repro.graph import Graph, from_networkx, load_edge_list, save_edge_list, to_networkx
+from repro.graph import generators
+from repro.hkpr import (
+    ESTIMATORS,
+    HKPRParams,
+    HKPRResult,
+    cluster_hkpr,
+    exact_hkpr,
+    hk_relax,
+    monte_carlo_hkpr,
+    tea,
+    tea_plus,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ESTIMATORS",
+    "Graph",
+    "HKPRParams",
+    "HKPRResult",
+    "LocalClusteringResult",
+    "SweepResult",
+    "cluster_hkpr",
+    "conductance",
+    "exact_hkpr",
+    "from_networkx",
+    "generators",
+    "hk_relax",
+    "load_edge_list",
+    "local_cluster",
+    "monte_carlo_hkpr",
+    "save_edge_list",
+    "sweep_cut",
+    "tea",
+    "tea_plus",
+    "to_networkx",
+]

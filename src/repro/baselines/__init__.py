@@ -1,0 +1,28 @@
+"""Non-HKPR local clustering baselines used in the paper's evaluation (§7.4).
+
+* :func:`repro.baselines.simple_local.simple_local` — strongly-local
+  flow-based cut improvement (Veldt, Gleich & Mahoney, ICML 2016 family).
+* :func:`repro.baselines.crd.capacity_releasing_diffusion` — Capacity
+  Releasing Diffusion (Wang et al., ICML 2017).
+* :func:`repro.baselines.pr_nibble.pr_nibble` — PPR push local clustering
+  (Andersen, Chung & Lang, FOCS 2006); related-work baseline.
+* :func:`repro.baselines.nibble.nibble` — truncated lazy random walks
+  (Spielman & Teng); related-work baseline.
+
+Each returns a :class:`repro.baselines.common.BaselineClusteringResult` so
+the benchmark harness can treat every method uniformly.
+"""
+
+from repro.baselines.common import BaselineClusteringResult
+from repro.baselines.crd import capacity_releasing_diffusion
+from repro.baselines.nibble import nibble
+from repro.baselines.pr_nibble import pr_nibble
+from repro.baselines.simple_local import simple_local
+
+__all__ = [
+    "BaselineClusteringResult",
+    "capacity_releasing_diffusion",
+    "nibble",
+    "pr_nibble",
+    "simple_local",
+]

@@ -1,0 +1,31 @@
+"""Shared result type for the non-HKPR baselines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class BaselineClusteringResult:
+    """A cluster produced by a non-HKPR baseline.
+
+    Mirrors the fields of :class:`repro.clustering.local.LocalClusteringResult`
+    that the benchmark harness consumes, without the HKPR-specific payload.
+    """
+
+    cluster: set[int]
+    conductance: float
+    seed: int
+    method: str
+    elapsed_seconds: float
+    work: int = 0
+    details: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        """Number of nodes in the cluster."""
+        return len(self.cluster)
+
+    def contains_seed(self) -> bool:
+        """Whether the seed node is inside the returned cluster."""
+        return self.seed in self.cluster

@@ -1,0 +1,142 @@
+"""Capacity Releasing Diffusion (Wang et al., ICML 2017).
+
+CRD spreads *flow mass* from the seed with a push-relabel style "unit flow"
+subroutine.  Each outer iteration doubles the mass held at the seed region
+and then routes any excess (mass above ``2 d(v)`` at a node) to neighbors,
+subject to per-edge capacities that grow with the iteration count; nodes
+that cannot get rid of their excess are relabelled upward.  Mass escaping a
+good cluster is throttled by the edge capacities, so after a few iterations
+the mass distribution concentrates on a low-conductance region, which a
+standard sweep extracts.
+
+This is a faithful, single-threaded rendition of the algorithm's structure
+(double → unit-flow with push/relabel → sweep), with the simplifications
+documented in DESIGN.md: capacities and level bounds follow the paper's
+recommended defaults rather than being exposed as six separate knobs, and
+the excess-threshold bookkeeping uses plain dictionaries.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+
+from repro.baselines.common import BaselineClusteringResult
+from repro.clustering.sweep import sweep_from_ranking
+from repro.exceptions import ParameterError
+from repro.graph.graph import Graph
+
+
+def capacity_releasing_diffusion(
+    graph: Graph,
+    seed: int,
+    *,
+    iterations: int = 10,
+    capacity_multiplier: float = 4.0,
+    level_cap: int | None = None,
+) -> BaselineClusteringResult:
+    """Run CRD from ``seed`` and sweep the resulting mass distribution.
+
+    Parameters
+    ----------
+    iterations:
+        Number of outer double-and-diffuse rounds (the knob the paper's §7.4
+        varies in {7, 10, 15, 20, 30}).
+    capacity_multiplier:
+        Per-edge capacity granted to each round's unit-flow phase.
+    level_cap:
+        Maximum push-relabel level; defaults to ``3 * iterations``.
+    """
+    if not graph.has_node(seed):
+        raise ParameterError(f"seed node {seed} is not in the graph")
+    if iterations < 1:
+        raise ParameterError(f"iterations must be >= 1, got {iterations}")
+    if capacity_multiplier <= 0:
+        raise ParameterError(
+            f"capacity multiplier must be positive, got {capacity_multiplier}"
+        )
+    start = time.perf_counter()
+    max_level = level_cap if level_cap is not None else 3 * iterations
+
+    mass: dict[int, float] = {seed: float(max(graph.degree(seed), 1))}
+    labels: dict[int, int] = {seed: 0}
+    work = 0
+
+    for _ in range(iterations):
+        # Double the mass everywhere it currently sits (capacity releasing).
+        for node in list(mass.keys()):
+            mass[node] = mass[node] * 2.0
+
+        # Unit-flow phase: push excess (mass above 2 d(v)) downhill.
+        edge_capacity = capacity_multiplier
+        flow_used: dict[tuple[int, int], float] = {}
+        active = deque(
+            node for node, value in mass.items() if value > 2.0 * max(graph.degree(node), 1)
+        )
+        queued = set(active)
+        while active:
+            node = active.popleft()
+            queued.discard(node)
+            degree = max(graph.degree(node), 1)
+            excess = mass.get(node, 0.0) - 2.0 * degree
+            if excess <= 1e-12:
+                continue
+            level = labels.setdefault(node, 0)
+            if level >= max_level:
+                # The node is saturated at the top level; its excess stays put
+                # (this is the mass the sweep will still see).
+                continue
+            pushed_any = False
+            for neighbor in graph.neighbors(node):
+                neighbor = int(neighbor)
+                if excess <= 1e-12:
+                    break
+                if labels.setdefault(neighbor, 0) >= level:
+                    continue
+                used = flow_used.get((node, neighbor), 0.0)
+                headroom = edge_capacity - used
+                if headroom <= 1e-12:
+                    continue
+                neighbor_degree = max(graph.degree(neighbor), 1)
+                neighbor_room = 2.0 * neighbor_degree - mass.get(neighbor, 0.0)
+                amount = min(excess, headroom, max(neighbor_room, 0.0))
+                if amount <= 1e-12:
+                    continue
+                mass[node] -= amount
+                mass[neighbor] = mass.get(neighbor, 0.0) + amount
+                flow_used[(node, neighbor)] = used + amount
+                excess -= amount
+                work += 1
+                pushed_any = True
+                if (
+                    mass[neighbor] > 2.0 * neighbor_degree
+                    and neighbor not in queued
+                    and labels[neighbor] < max_level
+                ):
+                    active.append(neighbor)
+                    queued.add(neighbor)
+            if excess > 1e-12:
+                if not pushed_any:
+                    labels[node] = level + 1
+                if labels[node] < max_level and node not in queued:
+                    active.append(node)
+                    queued.add(node)
+
+    # Sweep the degree-normalized mass distribution.
+    ranking = sorted(
+        (node for node, value in mass.items() if value > 0.0),
+        key=lambda v: (-(mass[v] / max(graph.degree(v), 1)), v),
+    )
+    if seed not in ranking:
+        ranking.insert(0, seed)
+    sweep = sweep_from_ranking(graph, ranking)
+    elapsed = time.perf_counter() - start
+    return BaselineClusteringResult(
+        cluster=set(sweep.cluster),
+        conductance=sweep.conductance,
+        seed=seed,
+        method="crd",
+        elapsed_seconds=elapsed,
+        work=work,
+        details={"support_size": float(len(mass)), "iterations": float(iterations)},
+    )

@@ -1,0 +1,94 @@
+"""Nibble: truncated lazy random walk local clustering (Spielman & Teng).
+
+The first local clustering algorithm: starting from the indicator vector of
+the seed, repeatedly apply the lazy random-walk operator
+``W = (I + D^{-1} A) / 2``, truncate entries whose degree-normalized value
+falls below a threshold (this is what keeps the work local), and sweep the
+distribution after each step, keeping the best cut seen.
+
+Included as a related-work baseline; the paper's lineage starts here.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.baselines.common import BaselineClusteringResult
+from repro.clustering.sweep import SweepResult, sweep_from_ranking
+from repro.exceptions import ParameterError
+from repro.graph.graph import Graph
+from repro.utils.sparsevec import SparseVector
+
+
+def nibble(
+    graph: Graph,
+    seed: int,
+    *,
+    steps: int = 20,
+    truncation: float = 1e-5,
+) -> BaselineClusteringResult:
+    """Local clustering with truncated lazy random walks.
+
+    Parameters
+    ----------
+    steps:
+        Number of lazy-walk steps to simulate.
+    truncation:
+        Entries with ``q[v]/d(v)`` below this threshold are zeroed after
+        every step, bounding the support (and hence the work).
+    """
+    if not graph.has_node(seed):
+        raise ParameterError(f"seed node {seed} is not in the graph")
+    if steps < 1:
+        raise ParameterError(f"steps must be >= 1, got {steps}")
+    if truncation < 0:
+        raise ParameterError(f"truncation must be non-negative, got {truncation}")
+
+    start = time.perf_counter()
+    distribution = SparseVector({seed: 1.0})
+    best_sweep: SweepResult | None = None
+    work = 0
+
+    for _ in range(steps):
+        updated = SparseVector()
+        for node, mass in distribution.items():
+            degree = graph.degree(node)
+            # Lazy walk: keep half, spread half over the neighbors.
+            updated.add(node, mass / 2.0)
+            if degree > 0:
+                share = mass / (2.0 * degree)
+                for neighbor in graph.neighbors(node):
+                    updated.add(int(neighbor), share)
+                    work += 1
+        # Truncate small degree-normalized entries to keep the support local.
+        truncated = SparseVector()
+        for node, mass in updated.items():
+            degree = max(graph.degree(node), 1)
+            if mass / degree >= truncation:
+                truncated[node] = mass
+        distribution = truncated if truncated.nnz() > 0 else updated
+
+        ranking = sorted(
+            distribution.keys(),
+            key=lambda v: (
+                -(distribution[v] / graph.degree(v)) if graph.degree(v) else 0.0,
+                v,
+            ),
+        )
+        if seed not in ranking:
+            ranking.insert(0, seed)
+        sweep = sweep_from_ranking(graph, ranking)
+        if best_sweep is None or sweep.conductance < best_sweep.conductance:
+            best_sweep = sweep
+
+    elapsed = time.perf_counter() - start
+    assert best_sweep is not None  # steps >= 1 guarantees at least one sweep
+    return BaselineClusteringResult(
+        cluster=set(best_sweep.cluster),
+        conductance=best_sweep.conductance,
+        seed=seed,
+        method="nibble",
+        elapsed_seconds=elapsed,
+        work=work,
+        details={"support_size": float(distribution.nnz())},
+    )

@@ -1,0 +1,24 @@
+"""Benchmark harness: dataset registry, experiment drivers, reporting."""
+
+from repro.bench.datasets import DATASETS, DatasetSpec, load_dataset
+from repro.bench.harness import (
+    MethodConfig,
+    QueryRecord,
+    run_clustering_query,
+    run_query_set,
+    sample_seed_nodes,
+)
+from repro.bench.reporting import format_rows, summarize_records
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "MethodConfig",
+    "QueryRecord",
+    "format_rows",
+    "load_dataset",
+    "run_clustering_query",
+    "run_query_set",
+    "sample_seed_nodes",
+    "summarize_records",
+]

@@ -1,0 +1,181 @@
+"""Benchmark dataset registry.
+
+The paper evaluates on six SNAP graphs and two synthetic ones (Table 7).
+Billion-edge SNAP graphs are out of reach for a pure-Python, offline
+reproduction, so each paper dataset is represented by a laptop-scale
+*surrogate* whose qualitative characteristics (average degree, presence of
+power-law tails, clustering level, regular-grid structure) match the role
+the original plays in the evaluation.  See DESIGN.md §2 for the full
+substitution rationale.
+
+Each surrogate is deterministic (fixed seed) and cached after first build so
+benchmarks and tests can reuse it cheaply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Callable
+
+from repro.exceptions import DatasetError
+from repro.graph import generators
+from repro.graph.communities import CommunitySet, planted_partition_with_communities
+from repro.graph.graph import Graph
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """A named benchmark dataset surrogate."""
+
+    name: str
+    paper_name: str
+    description: str
+    builder: Callable[[], Graph]
+    category: str  # "low-degree", "high-degree", or "grid"
+
+
+def _dblp_sim() -> Graph:
+    return generators.powerlaw_cluster_graph(3000, 3, 0.6, seed=101)
+
+
+def _youtube_sim() -> Graph:
+    degrees = generators.power_law_degree_sequence(4000, 2.4, 2, 120, seed=102)
+    return generators.chung_lu_graph(degrees, seed=102)
+
+
+def _plc_sim() -> Graph:
+    return generators.powerlaw_cluster_graph(5000, 5, 0.3, seed=103)
+
+
+def _orkut_sim() -> Graph:
+    return generators.powerlaw_cluster_graph(2000, 20, 0.1, seed=104)
+
+
+def _livejournal_sim() -> Graph:
+    return generators.powerlaw_cluster_graph(4000, 8, 0.4, seed=105)
+
+
+def _grid3d_sim() -> Graph:
+    return generators.grid_3d_graph(12, 12, 12, periodic=True)
+
+
+def _twitter_sim() -> Graph:
+    degrees = generators.power_law_degree_sequence(3000, 2.0, 5, 300, seed=107)
+    return generators.chung_lu_graph(degrees, seed=107)
+
+
+def _friendster_sim() -> Graph:
+    return generators.powerlaw_cluster_graph(3500, 25, 0.05, seed=108)
+
+
+DATASETS: dict[str, DatasetSpec] = {
+    spec.name: spec
+    for spec in [
+        DatasetSpec(
+            name="dblp-sim",
+            paper_name="DBLP",
+            description="Low average degree, strongly clustered co-authorship surrogate",
+            builder=_dblp_sim,
+            category="low-degree",
+        ),
+        DatasetSpec(
+            name="youtube-sim",
+            paper_name="Youtube",
+            description="Low average degree, weakly clustered power-law surrogate",
+            builder=_youtube_sim,
+            category="low-degree",
+        ),
+        DatasetSpec(
+            name="plc-sim",
+            paper_name="PLC",
+            description="Holme-Kim powerlaw-cluster synthetic graph (same generator as the paper)",
+            builder=_plc_sim,
+            category="low-degree",
+        ),
+        DatasetSpec(
+            name="orkut-sim",
+            paper_name="Orkut",
+            description="High average degree social-network surrogate",
+            builder=_orkut_sim,
+            category="high-degree",
+        ),
+        DatasetSpec(
+            name="livejournal-sim",
+            paper_name="LiveJournal",
+            description="Medium-high average degree, clustered social-network surrogate",
+            builder=_livejournal_sim,
+            category="high-degree",
+        ),
+        DatasetSpec(
+            name="grid3d-sim",
+            paper_name="3D-grid",
+            description="3D torus where every node has exactly six neighbors (same topology family)",
+            builder=_grid3d_sim,
+            category="grid",
+        ),
+        DatasetSpec(
+            name="twitter-sim",
+            paper_name="Twitter",
+            description="High average degree, heavy-tailed follower-graph surrogate",
+            builder=_twitter_sim,
+            category="high-degree",
+        ),
+        DatasetSpec(
+            name="friendster-sim",
+            paper_name="Friendster",
+            description="High average degree, weakly clustered social-network surrogate",
+            builder=_friendster_sim,
+            category="high-degree",
+        ),
+    ]
+}
+
+#: The subset of datasets the quick benchmark configurations default to; one
+#: representative per category keeps the pure-Python runtime manageable.
+QUICK_DATASETS = ("dblp-sim", "orkut-sim", "grid3d-sim")
+
+
+@lru_cache(maxsize=None)
+def load_dataset(name: str) -> Graph:
+    """Build (or return the cached) surrogate graph called ``name``."""
+    if name not in DATASETS:
+        raise DatasetError(
+            f"unknown dataset {name!r}; available: {sorted(DATASETS)}"
+        )
+    return DATASETS[name].builder()
+
+
+@lru_cache(maxsize=None)
+def load_community_dataset(
+    name: str = "communities-sim",
+) -> tuple[Graph, CommunitySet]:
+    """Graph with ground-truth communities for the Table-8 experiment.
+
+    A planted-partition graph stands in for the SNAP graphs with top-5000
+    ground-truth communities: the planted blocks play the role of the known
+    communities.  The blocks are dense relative to the inter-block noise so
+    that they are genuinely the lowest-conductance structures a sweep can
+    find; see EXPERIMENTS.md (Table 8) for why that matters when comparing
+    F1 across estimators.
+    """
+    if name == "communities-sim":
+        return planted_partition_with_communities(25, 40, 0.4, 0.0015, seed=201)
+    if name == "communities-large-sim":
+        return planted_partition_with_communities(40, 60, 0.35, 0.001, seed=202)
+    raise DatasetError(
+        "unknown community dataset "
+        f"{name!r}; available: ['communities-sim', 'communities-large-sim']"
+    )
+
+
+def dataset_statistics(name: str) -> dict[str, float]:
+    """Table-7 style statistics (n, m, average degree) for a dataset."""
+    graph = load_dataset(name)
+    return {
+        "dataset": name,
+        "paper_dataset": DATASETS[name].paper_name,
+        "n": graph.num_nodes,
+        "m": graph.num_edges,
+        "avg_degree": round(graph.average_degree, 2),
+    }

@@ -1,0 +1,64 @@
+"""Plain-text rendering of experiment results.
+
+Every experiment driver returns a list of dictionaries (one per table row /
+curve point).  :func:`format_rows` renders them as an aligned text table so
+the benchmark scripts can print output directly comparable to the paper's
+tables and figure series.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.exceptions import ParameterError
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_rows(
+    rows: Iterable[dict[str, Any]],
+    columns: list[str] | None = None,
+    *,
+    title: str | None = None,
+) -> str:
+    """Render dictionaries as an aligned, pipe-separated text table."""
+    row_list = list(rows)
+    if not row_list:
+        raise ParameterError("cannot format an empty result set")
+    if columns is None:
+        columns = list(row_list[0].keys())
+
+    cells = [[_format_value(row.get(col, "")) for col in columns] for row in row_list]
+    widths = [
+        max(len(col), *(len(row[i]) for row in cells)) for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def summarize_records(rows: list[dict[str, Any]], group_column: str, value_column: str) -> dict[str, float]:
+    """Collapse rows to ``{group: mean(value)}`` — handy for shape assertions."""
+    if not rows:
+        raise ParameterError("cannot summarize an empty result set")
+    sums: dict[str, float] = {}
+    counts: dict[str, int] = {}
+    for row in rows:
+        key = str(row[group_column])
+        sums[key] = sums.get(key, 0.0) + float(row[value_column])
+        counts[key] = counts.get(key, 0) + 1
+    return {key: sums[key] / counts[key] for key in sums}

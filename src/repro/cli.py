@@ -1,0 +1,161 @@
+"""Command-line interface for local clustering queries and experiments.
+
+Three subcommands cover the workflows a downstream user needs without
+writing Python:
+
+* ``repro-cli cluster``  — one local clustering query on an edge-list file
+  (or a named benchmark surrogate), printing the cluster and its statistics.
+* ``repro-cli datasets`` — list the built-in benchmark surrogates with their
+  Table-7 statistics.
+* ``repro-cli experiment`` — run one of the paper's experiments (figure2,
+  figure3, ..., table8, ablation) at a configurable scale and print the
+  result table.
+
+Examples
+--------
+::
+
+    python -m repro.cli datasets
+    python -m repro.cli cluster --dataset dblp-sim --seed-node 42 --method tea+
+    python -m repro.cli cluster --edge-list my_graph.txt --seed-node 7 --t 10
+    python -m repro.cli experiment figure3 --datasets grid3d-sim --num-seeds 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.bench import experiments as experiment_drivers
+from repro.bench.datasets import DATASETS, dataset_statistics, load_dataset
+from repro.bench.reporting import format_rows
+from repro.clustering.local import SUPPORTED_METHODS, local_cluster
+from repro.exceptions import ReproError
+from repro.graph.io import load_edge_list
+from repro.hkpr.params import HKPRParams
+
+#: Experiment names accepted by the ``experiment`` subcommand.
+EXPERIMENTS = {
+    "table7": experiment_drivers.table7_statistics,
+    "figure2": experiment_drivers.figure2_tuning_c,
+    "figure3": experiment_drivers.figure3_tea_vs_teaplus,
+    "figure4": experiment_drivers.figure4_time_quality,
+    "figure5": experiment_drivers.figure5_memory,
+    "figure6": experiment_drivers.figure6_ndcg,
+    "figure7": experiment_drivers.figure7_density,
+    "figure8_9": experiment_drivers.figure8_9_heat,
+    "table8": experiment_drivers.table8_ground_truth,
+    "ablation": experiment_drivers.ablation_tea_plus,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-cli",
+        description="Heat kernel PageRank local clustering (TEA/TEA+ reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    cluster = subparsers.add_parser("cluster", help="run one local clustering query")
+    source = cluster.add_mutually_exclusive_group(required=True)
+    source.add_argument("--dataset", choices=sorted(DATASETS), help="built-in surrogate dataset")
+    source.add_argument("--edge-list", help="path to a whitespace-separated edge list")
+    cluster.add_argument("--seed-node", type=int, required=True, help="seed node id")
+    cluster.add_argument(
+        "--method", choices=sorted(SUPPORTED_METHODS), default="tea+", help="HKPR estimator"
+    )
+    cluster.add_argument("--t", type=float, default=5.0, help="heat constant (default 5)")
+    cluster.add_argument("--eps-r", type=float, default=0.5, help="relative error bound")
+    cluster.add_argument(
+        "--delta", type=float, default=None, help="significance threshold (default 1/n)"
+    )
+    cluster.add_argument("--p-f", type=float, default=1e-6, help="failure probability")
+    cluster.add_argument("--rng", type=int, default=None, help="random seed")
+    cluster.add_argument(
+        "--max-members", type=int, default=20, help="cluster members to print (default 20)"
+    )
+
+    subparsers.add_parser("datasets", help="list built-in benchmark surrogates")
+
+    experiment = subparsers.add_parser(
+        "experiment", help="run one of the paper's experiments"
+    )
+    experiment.add_argument("name", choices=sorted(EXPERIMENTS), help="experiment to run")
+    experiment.add_argument(
+        "--datasets", nargs="+", default=None, help="surrogate datasets to use"
+    )
+    experiment.add_argument(
+        "--num-seeds", type=int, default=None, help="seed nodes per dataset"
+    )
+    experiment.add_argument("--rng", type=int, default=None, help="random seed")
+    return parser
+
+
+def _run_cluster(args: argparse.Namespace) -> int:
+    if args.dataset:
+        graph = load_dataset(args.dataset)
+        source = args.dataset
+    else:
+        graph, _ = load_edge_list(args.edge_list)
+        source = args.edge_list
+    delta = args.delta if args.delta is not None else 1.0 / max(graph.num_nodes, 2)
+    params = HKPRParams(t=args.t, eps_r=args.eps_r, delta=delta, p_f=args.p_f)
+
+    result = local_cluster(
+        graph, args.seed_node, method=args.method, params=params, rng=args.rng
+    )
+    counters = result.hkpr.counters
+    print(f"graph           : {source} (n={graph.num_nodes}, m={graph.num_edges})")
+    print(f"seed node       : {args.seed_node} (degree {graph.degree(args.seed_node)})")
+    print(f"method          : {args.method}")
+    print(f"cluster size    : {result.size}")
+    print(f"conductance     : {result.conductance:.4f}")
+    print(f"query time      : {result.elapsed_seconds * 1000:.1f} ms")
+    print(f"push operations : {counters.push_operations}")
+    print(f"random walks    : {counters.random_walks}")
+    members = sorted(result.cluster)[: args.max_members]
+    suffix = " ..." if result.size > args.max_members else ""
+    print(f"members         : {' '.join(map(str, members))}{suffix}")
+    return 0
+
+
+def _run_datasets(_: argparse.Namespace) -> int:
+    rows = [dataset_statistics(name) for name in DATASETS]
+    print(format_rows(rows, columns=["dataset", "paper_dataset", "n", "m", "avg_degree"]))
+    return 0
+
+
+def _run_experiment(args: argparse.Namespace) -> int:
+    driver = EXPERIMENTS[args.name]
+    kwargs: dict = {}
+    if args.datasets is not None and args.name != "table8":
+        kwargs["datasets"] = tuple(args.datasets)
+    if args.num_seeds is not None and args.name not in ("table7", "figure7"):
+        kwargs["num_seeds"] = args.num_seeds
+    if args.rng is not None and args.name != "table7":
+        kwargs["rng"] = args.rng
+    rows = driver(**kwargs) if kwargs else driver()
+    print(format_rows(rows, title=f"experiment: {args.name}"))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "cluster": _run_cluster,
+        "datasets": _run_datasets,
+        "experiment": _run_experiment,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

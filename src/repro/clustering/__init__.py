@@ -1,0 +1,18 @@
+"""Local clustering: conductance, sweep cuts, and the high-level query API."""
+
+from repro.clustering.conductance import conductance, cut_size, volume
+from repro.clustering.local import LocalClusteringResult, local_cluster
+from repro.clustering.quality import cluster_f1, precision_recall_f1
+from repro.clustering.sweep import SweepResult, sweep_cut
+
+__all__ = [
+    "LocalClusteringResult",
+    "SweepResult",
+    "cluster_f1",
+    "conductance",
+    "cut_size",
+    "local_cluster",
+    "precision_recall_f1",
+    "sweep_cut",
+    "volume",
+]

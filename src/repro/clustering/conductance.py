@@ -1,0 +1,58 @@
+"""Conductance and related cut measures.
+
+The conductance of a node set ``S`` is
+
+    Phi(S) = |cut(S)| / min(vol(S), vol(V \\ S)),
+
+where ``vol(S)`` is the sum of degrees in ``S`` and ``cut(S)`` the number of
+edges with exactly one endpoint in ``S``.  A small conductance means the set
+is internally well connected and externally well separated — the quality
+measure every local clustering experiment in the paper optimizes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.exceptions import EmptyGraphError, ParameterError
+from repro.graph.graph import Graph
+
+
+def volume(graph: Graph, nodes: Iterable[int]) -> int:
+    """Sum of degrees over ``nodes`` (``vol(S)``)."""
+    return graph.volume(nodes)
+
+
+def cut_size(graph: Graph, nodes: Iterable[int]) -> int:
+    """Number of edges crossing the boundary of ``nodes`` (``|cut(S)|``)."""
+    return graph.cut_size(nodes)
+
+
+def conductance(graph: Graph, nodes: Iterable[int]) -> float:
+    """Conductance ``Phi(S)`` of the node set ``nodes``.
+
+    Edge cases follow the usual conventions: the empty set and the full node
+    set have conductance 1 (they are useless clusters), and a set with zero
+    volume (all isolated nodes) also gets conductance 1.
+
+    Examples
+    --------
+    >>> from repro.graph.generators import ring_graph
+    >>> g = ring_graph(6)
+    >>> conductance(g, [0, 1, 2])
+    0.3333333333333333
+    """
+    if graph.num_nodes == 0:
+        raise EmptyGraphError("conductance is undefined on an empty graph")
+    node_set = {int(v) for v in nodes}
+    for node in node_set:
+        if not graph.has_node(node):
+            raise ParameterError(f"node {node} is not in the graph")
+    if not node_set or len(node_set) == graph.num_nodes:
+        return 1.0
+    vol_s = graph.volume(node_set)
+    vol_rest = graph.total_volume - vol_s
+    denominator = min(vol_s, vol_rest)
+    if denominator == 0:
+        return 1.0
+    return graph.cut_size(node_set) / denominator

@@ -1,0 +1,74 @@
+"""Cluster quality against ground-truth communities (precision / recall / F1).
+
+Reproduces the scoring used in the paper's Table 8: a produced cluster is
+compared against the ground-truth communities containing the seed node and
+the best F1 over those communities is reported (when a node belongs to
+several communities the most favourable one is used, the standard protocol
+for SNAP ground-truth communities).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.exceptions import ParameterError
+from repro.graph.communities import CommunitySet
+
+
+def precision_recall_f1(
+    predicted: Iterable[int], truth: Iterable[int]
+) -> tuple[float, float, float]:
+    """Precision, recall and F1 of ``predicted`` against ``truth``.
+
+    Examples
+    --------
+    >>> precision_recall_f1({1, 2, 3}, {2, 3, 4})
+    (0.6666666666666666, 0.6666666666666666, 0.6666666666666666)
+    """
+    predicted_set = {int(v) for v in predicted}
+    truth_set = {int(v) for v in truth}
+    if not truth_set:
+        raise ParameterError("ground-truth community must be non-empty")
+    if not predicted_set:
+        return 0.0, 0.0, 0.0
+    overlap = len(predicted_set & truth_set)
+    precision = overlap / len(predicted_set)
+    recall = overlap / len(truth_set)
+    if precision + recall == 0.0:
+        return precision, recall, 0.0
+    f1 = 2.0 * precision * recall / (precision + recall)
+    return precision, recall, f1
+
+
+def cluster_f1(
+    predicted: Iterable[int],
+    seed: int,
+    communities: CommunitySet,
+) -> float:
+    """Best F1 of ``predicted`` over the ground-truth communities of ``seed``.
+
+    Returns 0.0 when the seed belongs to no known community, mirroring how
+    such seeds contribute nothing in the Table-8 protocol.
+    """
+    candidates = communities.communities_of(seed)
+    if not candidates:
+        return 0.0
+    best = 0.0
+    for community in candidates:
+        _, _, f1 = precision_recall_f1(predicted, community)
+        if f1 > best:
+            best = f1
+    return best
+
+
+def average_f1(
+    clusters_by_seed: dict[int, Iterable[int]],
+    communities: CommunitySet,
+) -> float:
+    """Mean of :func:`cluster_f1` over a set of (seed, cluster) pairs."""
+    if not clusters_by_seed:
+        raise ParameterError("need at least one (seed, cluster) pair")
+    total = 0.0
+    for seed, cluster in clusters_by_seed.items():
+        total += cluster_f1(cluster, seed, communities)
+    return total / len(clusters_by_seed)

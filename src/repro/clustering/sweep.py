@@ -1,0 +1,148 @@
+"""The sweep procedure: from an (approximate) HKPR vector to a cluster.
+
+Every heat-kernel local clustering algorithm shares this second phase
+(§2.2): sort the support of the approximate HKPR vector by descending
+degree-normalized value, scan the prefixes ``S*_1 ⊂ S*_2 ⊂ ...``, and return
+the prefix with the smallest conductance.  Maintaining the prefix volume and
+cut incrementally makes the scan ``O(|S*| log |S*| + vol(S*))``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import ParameterError
+from repro.graph.graph import Graph
+from repro.hkpr.result import HKPRResult
+
+
+@dataclass
+class SweepResult:
+    """Outcome of a sweep over a normalized-HKPR ranking.
+
+    Attributes
+    ----------
+    cluster:
+        The best (lowest conductance) prefix found.
+    conductance:
+        Its conductance.
+    sweep_order:
+        The full ranking that was swept (descending normalized HKPR).
+    conductance_profile:
+        Conductance of every prefix, ``conductance_profile[i]`` being the
+        conductance of the first ``i + 1`` nodes.  Useful for plotting the
+        sweep curve and for tests.
+    best_prefix_size:
+        Length of the winning prefix.
+    """
+
+    cluster: set[int]
+    conductance: float
+    sweep_order: list[int] = field(default_factory=list)
+    conductance_profile: list[float] = field(default_factory=list)
+    best_prefix_size: int = 0
+
+    @property
+    def size(self) -> int:
+        """Number of nodes in the returned cluster."""
+        return len(self.cluster)
+
+    def volume(self, graph: Graph) -> int:
+        """Volume of the returned cluster."""
+        return graph.volume(self.cluster)
+
+
+def sweep_from_ranking(
+    graph: Graph,
+    ranking: list[int],
+    *,
+    max_cluster_volume: int | None = None,
+) -> SweepResult:
+    """Sweep over an explicit node ranking and return the best-conductance prefix.
+
+    Parameters
+    ----------
+    ranking:
+        Nodes in the order they should be added (descending score).
+    max_cluster_volume:
+        Optional cap: prefixes whose volume exceeds half the graph volume are
+        never useful (their conductance is measured against the complement),
+        and the paper's local algorithms implicitly stop there.  Defaults to
+        ``total_volume // 2``.
+    """
+    if not ranking:
+        raise ParameterError("cannot sweep an empty ranking")
+    seen: set[int] = set()
+    volume_limit = (
+        max_cluster_volume if max_cluster_volume is not None else graph.total_volume // 2
+    )
+
+    in_prefix: set[int] = set()
+    prefix_volume = 0
+    prefix_cut = 0
+    best_conductance = float("inf")
+    best_size = 0
+    profile: list[float] = []
+    order: list[int] = []
+
+    for node in ranking:
+        node = int(node)
+        if node in seen:
+            continue
+        if not graph.has_node(node):
+            raise ParameterError(f"node {node} is not in the graph")
+        seen.add(node)
+        order.append(node)
+
+        degree = graph.degree(node)
+        internal_edges = sum(1 for nbr in graph.neighbors(node) if int(nbr) in in_prefix)
+        in_prefix.add(node)
+        prefix_volume += degree
+        # Adding the node turns its internal edges from cut edges into
+        # internal ones and its external edges into new cut edges.
+        prefix_cut += degree - 2 * internal_edges
+
+        complement_volume = graph.total_volume - prefix_volume
+        denominator = min(prefix_volume, complement_volume)
+        phi = 1.0 if denominator <= 0 else prefix_cut / denominator
+        profile.append(phi)
+
+        if phi < best_conductance and prefix_volume <= max(volume_limit, degree):
+            best_conductance = phi
+            best_size = len(order)
+
+    if best_size == 0:
+        best_size = 1
+        best_conductance = profile[0]
+    return SweepResult(
+        cluster=set(order[:best_size]),
+        conductance=best_conductance,
+        sweep_order=order,
+        conductance_profile=profile,
+        best_prefix_size=best_size,
+    )
+
+
+def sweep_cut(
+    graph: Graph,
+    hkpr: HKPRResult,
+    *,
+    include_seed: bool = True,
+    max_cluster_volume: int | None = None,
+) -> SweepResult:
+    """Run the §2.2 sweep over an approximate HKPR vector.
+
+    Parameters
+    ----------
+    hkpr:
+        Output of any estimator in :mod:`repro.hkpr`; only its support and
+        degree-normalized values matter (the TEA+ offset is irrelevant to
+        the ordering and is ignored).
+    include_seed:
+        Guarantee that the seed node is part of the ranking even if the
+        estimator assigned it no mass (can happen for tiny walk budgets).
+    """
+    ranking = hkpr.ranking(graph)
+    if include_seed and hkpr.seed not in ranking:
+        ranking.insert(0, hkpr.seed)
+    return sweep_from_ranking(graph, ranking, max_cluster_volume=max_cluster_volume)

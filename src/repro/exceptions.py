@@ -1,0 +1,40 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch a single base class at their integration boundary.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class GraphError(ReproError):
+    """Raised when a graph is malformed or an operation is invalid for it."""
+
+
+class NodeNotFoundError(GraphError):
+    """Raised when a node id is outside the graph's node range."""
+
+    def __init__(self, node: int, n: int) -> None:
+        super().__init__(f"node {node} is not in the graph (valid range: 0..{n - 1})")
+        self.node = node
+        self.n = n
+
+
+class EmptyGraphError(GraphError):
+    """Raised when an operation requires a non-empty graph."""
+
+
+class ParameterError(ReproError):
+    """Raised when an algorithm parameter is out of its valid range."""
+
+
+class DatasetError(ReproError):
+    """Raised when a benchmark dataset cannot be built or is unknown."""
+
+
+class ConvergenceError(ReproError):
+    """Raised when an iterative method fails to converge within its budget."""

@@ -1,0 +1,36 @@
+"""Graph substrate: CSR-backed undirected graphs, IO, and synthetic generators."""
+
+from repro.graph.communities import CommunitySet, planted_partition_with_communities
+from repro.graph.graph import Graph
+from repro.graph.io import (
+    from_networkx,
+    load_edge_list,
+    save_edge_list,
+    to_networkx,
+)
+from repro.graph.metrics import (
+    GraphSummary,
+    average_clustering_coefficient,
+    summarize_graph,
+)
+from repro.graph.subgraph import (
+    random_connected_subgraph,
+    sample_density_stratified_seeds,
+    subgraph_density,
+)
+
+__all__ = [
+    "CommunitySet",
+    "Graph",
+    "GraphSummary",
+    "average_clustering_coefficient",
+    "from_networkx",
+    "load_edge_list",
+    "planted_partition_with_communities",
+    "random_connected_subgraph",
+    "sample_density_stratified_seeds",
+    "save_edge_list",
+    "subgraph_density",
+    "summarize_graph",
+    "to_networkx",
+]

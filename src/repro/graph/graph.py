@@ -1,0 +1,307 @@
+"""The undirected graph data structure used by every algorithm in this package.
+
+The paper's algorithms are *local*: they touch only the neighborhoods of a
+few nodes.  The dominant operations are therefore
+
+* ``degree(v)``   — O(1),
+* ``neighbors(v)`` — O(d(v)) contiguous slice,
+* uniform sampling of a neighbor of ``v`` — O(1).
+
+A compressed-sparse-row (CSR) layout over two NumPy arrays (``indptr`` and
+``indices``) supports all three with minimal overhead, mirrors how the
+original C++ implementation stores graphs, and keeps memory at
+``O(n + m)`` integers.
+
+Nodes are integers ``0 .. n-1``.  Graphs are simple (no self-loops, no
+parallel edges) and undirected: every edge ``(u, v)`` appears in both
+adjacency lists.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.exceptions import EmptyGraphError, GraphError, NodeNotFoundError
+
+Edge = tuple[int, int]
+
+
+class Graph:
+    """An immutable, simple, undirected graph in CSR form.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes.  Nodes are ``0 .. n-1``.
+    edges:
+        Iterable of ``(u, v)`` pairs.  Self-loops and duplicate edges
+        (in either orientation) are rejected unless ``dedupe=True``, in
+        which case they are silently dropped.
+    dedupe:
+        If true, drop self-loops and duplicate edges instead of raising.
+
+    Examples
+    --------
+    >>> g = Graph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+    >>> g.num_nodes, g.num_edges
+    (4, 4)
+    >>> sorted(g.neighbors(0))
+    [1, 3]
+    >>> g.degree(1)
+    2
+    """
+
+    __slots__ = ("_indptr", "_indices", "_degrees", "_n", "_m")
+
+    def __init__(self, n: int, edges: Iterable[Edge], *, dedupe: bool = False) -> None:
+        if n < 0:
+            raise GraphError(f"number of nodes must be non-negative, got {n}")
+        self._n = int(n)
+
+        seen: set[Edge] = set()
+        cleaned: list[Edge] = []
+        for u, v in edges:
+            u, v = int(u), int(v)
+            if u < 0 or u >= n:
+                raise NodeNotFoundError(u, n)
+            if v < 0 or v >= n:
+                raise NodeNotFoundError(v, n)
+            if u == v:
+                if dedupe:
+                    continue
+                raise GraphError(f"self-loop ({u}, {v}) is not allowed")
+            key = (u, v) if u < v else (v, u)
+            if key in seen:
+                if dedupe:
+                    continue
+                raise GraphError(f"duplicate edge ({u}, {v})")
+            seen.add(key)
+            cleaned.append(key)
+
+        self._m = len(cleaned)
+        degrees = np.zeros(n, dtype=np.int64)
+        for u, v in cleaned:
+            degrees[u] += 1
+            degrees[v] += 1
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(degrees, out=indptr[1:])
+        indices = np.zeros(2 * self._m, dtype=np.int64)
+        cursor = indptr[:-1].copy()
+        for u, v in cleaned:
+            indices[cursor[u]] = v
+            cursor[u] += 1
+            indices[cursor[v]] = u
+            cursor[v] += 1
+        # Sort each adjacency slice so neighbor iteration is deterministic.
+        for node in range(n):
+            start, end = indptr[node], indptr[node + 1]
+            indices[start:end] = np.sort(indices[start:end])
+
+        self._indptr = indptr
+        self._indices = indices
+        self._degrees = degrees
+
+    # ------------------------------------------------------------------ #
+    # Basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes ``n``."""
+        return self._n
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges ``m``."""
+        return self._m
+
+    @property
+    def average_degree(self) -> float:
+        """Average degree ``2m / n`` (the paper's ``d̄``)."""
+        if self._n == 0:
+            raise EmptyGraphError("average degree of an empty graph is undefined")
+        return 2.0 * self._m / self._n
+
+    @property
+    def total_volume(self) -> int:
+        """Sum of all degrees, ``2m``."""
+        return 2 * self._m
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Read-only view of the degree array."""
+        view = self._degrees.view()
+        view.flags.writeable = False
+        return view
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Graph(n={self._n}, m={self._m})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return (
+            self._n == other._n
+            and self._m == other._m
+            and np.array_equal(self._indptr, other._indptr)
+            and np.array_equal(self._indices, other._indices)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._n, self._m))
+
+    # ------------------------------------------------------------------ #
+    # Node / edge access
+    # ------------------------------------------------------------------ #
+    def nodes(self) -> range:
+        """Iterate over all node ids."""
+        return range(self._n)
+
+    def has_node(self, node: int) -> bool:
+        """Whether ``node`` is a valid node id."""
+        return 0 <= node < self._n
+
+    def _check_node(self, node: int) -> None:
+        if not self.has_node(node):
+            raise NodeNotFoundError(node, self._n)
+
+    def degree(self, node: int) -> int:
+        """Degree of ``node``."""
+        self._check_node(node)
+        return int(self._degrees[node])
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """Neighbors of ``node`` as a read-only array slice (sorted)."""
+        self._check_node(node)
+        start, end = self._indptr[node], self._indptr[node + 1]
+        view = self._indices[start:end].view()
+        view.flags.writeable = False
+        return view
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether edge ``(u, v)`` exists."""
+        self._check_node(u)
+        self._check_node(v)
+        nbrs = self.neighbors(u)
+        pos = np.searchsorted(nbrs, v)
+        return bool(pos < len(nbrs) and nbrs[pos] == v)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over each undirected edge once, as ``(u, v)`` with u < v."""
+        for u in range(self._n):
+            for v in self.neighbors(u):
+                if u < v:
+                    yield (u, int(v))
+
+    def random_neighbor(self, node: int, rng: np.random.Generator) -> int:
+        """Uniformly sample a neighbor of ``node``.
+
+        Raises :class:`GraphError` if ``node`` is isolated — the HKPR push
+        and walk procedures never call this on isolated nodes, so hitting it
+        indicates a logic error upstream.
+        """
+        self._check_node(node)
+        start, end = self._indptr[node], self._indptr[node + 1]
+        if start == end:
+            raise GraphError(f"node {node} has no neighbors to sample")
+        return int(self._indices[start + rng.integers(end - start)])
+
+    # ------------------------------------------------------------------ #
+    # Whole-graph views
+    # ------------------------------------------------------------------ #
+    def volume(self, nodes: Iterable[int]) -> int:
+        """Sum of degrees over ``nodes`` (the paper's ``vol(S)``)."""
+        total = 0
+        for node in nodes:
+            total += self.degree(int(node))
+        return total
+
+    def cut_size(self, nodes: Iterable[int]) -> int:
+        """Number of edges with exactly one endpoint in ``nodes``."""
+        node_set = {int(v) for v in nodes}
+        for node in node_set:
+            self._check_node(node)
+        cut = 0
+        for node in node_set:
+            for nbr in self.neighbors(node):
+                if int(nbr) not in node_set:
+                    cut += 1
+        return cut
+
+    def adjacency_matrix(self) -> "scipy.sparse.csr_matrix":  # noqa: F821
+        """The sparse adjacency matrix ``A`` (symmetric, 0/1)."""
+        from scipy.sparse import csr_matrix
+
+        data = np.ones(len(self._indices), dtype=float)
+        return csr_matrix(
+            (data, self._indices.copy(), self._indptr.copy()),
+            shape=(self._n, self._n),
+        )
+
+    def transition_matrix(self) -> "scipy.sparse.csr_matrix":  # noqa: F821
+        """The random-walk transition matrix ``P = D^{-1} A``.
+
+        Rows of isolated nodes are all-zero (a walk at an isolated node has
+        nowhere to go); the HKPR definition treats such walks as staying put
+        only implicitly, and the estimators never start from isolated nodes.
+        """
+        adjacency = self.adjacency_matrix()
+        inv_deg = np.zeros(self._n, dtype=float)
+        nonzero = self._degrees > 0
+        inv_deg[nonzero] = 1.0 / self._degrees[nonzero]
+        from scipy.sparse import diags
+
+        return diags(inv_deg) @ adjacency
+
+    def connected_component(self, start: int) -> set[int]:
+        """Return the set of nodes reachable from ``start`` (BFS)."""
+        self._check_node(start)
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            next_frontier: list[int] = []
+            for node in frontier:
+                for nbr in self.neighbors(node):
+                    nbr = int(nbr)
+                    if nbr not in seen:
+                        seen.add(nbr)
+                        next_frontier.append(nbr)
+            frontier = next_frontier
+        return seen
+
+    def is_connected(self) -> bool:
+        """Whether the graph is connected (empty graphs count as connected)."""
+        if self._n == 0:
+            return True
+        return len(self.connected_component(0)) == self._n
+
+    def subgraph(self, nodes: Sequence[int]) -> tuple["Graph", dict[int, int]]:
+        """Induced subgraph on ``nodes``.
+
+        Returns the new graph (with nodes relabelled ``0..len(nodes)-1``) and
+        the mapping from original node id to new node id.
+        """
+        node_list = [int(v) for v in dict.fromkeys(nodes)]
+        for node in node_list:
+            self._check_node(node)
+        mapping = {node: i for i, node in enumerate(node_list)}
+        sub_edges = [
+            (mapping[u], mapping[v])
+            for u in node_list
+            for v in self.neighbors(u)
+            if int(v) in mapping and u < int(v)
+        ]
+        return Graph(len(node_list), sub_edges), mapping
+
+    @classmethod
+    def from_edges(cls, edges: Iterable[Edge], *, dedupe: bool = False) -> "Graph":
+        """Build a graph whose node count is inferred as ``max id + 1``."""
+        edge_list = [(int(u), int(v)) for u, v in edges]
+        if not edge_list:
+            return cls(0, [])
+        n = max(max(u, v) for u, v in edge_list) + 1
+        return cls(n, edge_list, dedupe=dedupe)

@@ -1,0 +1,85 @@
+"""Graph input/output: edge-list files and NetworkX interoperability.
+
+The SNAP datasets the paper uses are distributed as whitespace-separated
+edge lists, so the loader accepts that format (with ``#`` comment lines).
+Node labels in the file may be arbitrary non-negative integers; they are
+compacted to ``0..n-1`` and the label mapping is returned so callers can
+translate seed nodes.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import networkx as nx
+
+from repro.exceptions import GraphError
+from repro.graph.graph import Graph
+
+
+def load_edge_list(
+    path: str | Path, *, comment: str = "#"
+) -> tuple[Graph, dict[int, int]]:
+    """Load an undirected graph from a whitespace-separated edge-list file.
+
+    Parameters
+    ----------
+    path:
+        File with one ``u v`` pair per line.  Lines starting with
+        ``comment`` are skipped.  Self-loops and duplicate edges are dropped.
+
+    Returns
+    -------
+    (graph, label_to_id):
+        The graph, and the mapping from original labels to compacted ids.
+    """
+    path = Path(path)
+    labels: dict[int, int] = {}
+    edges: list[tuple[int, int]] = []
+    with path.open() as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith(comment):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise GraphError(f"{path}:{line_no}: expected two node ids, got {line!r}")
+            try:
+                u_label, v_label = int(parts[0]), int(parts[1])
+            except ValueError as exc:
+                raise GraphError(f"{path}:{line_no}: non-integer node id in {line!r}") from exc
+            for label in (u_label, v_label):
+                if label not in labels:
+                    labels[label] = len(labels)
+            edges.append((labels[u_label], labels[v_label]))
+    return Graph(len(labels), edges, dedupe=True), labels
+
+
+def save_edge_list(graph: Graph, path: str | Path) -> None:
+    """Write ``graph`` as a whitespace-separated edge list (one edge per line)."""
+    path = Path(path)
+    with path.open("w") as handle:
+        handle.write(f"# undirected graph: n={graph.num_nodes} m={graph.num_edges}\n")
+        for u, v in graph.edges():
+            handle.write(f"{u} {v}\n")
+
+
+def from_networkx(nx_graph: nx.Graph) -> tuple[Graph, dict[object, int]]:
+    """Convert a :class:`networkx.Graph` to a :class:`repro.graph.Graph`.
+
+    Node labels may be arbitrary hashables; the returned mapping translates
+    them to the compact integer ids used by this package.
+    """
+    if nx_graph.is_directed():
+        raise GraphError("only undirected graphs are supported")
+    mapping = {node: i for i, node in enumerate(nx_graph.nodes())}
+    edges = [(mapping[u], mapping[v]) for u, v in nx_graph.edges() if u != v]
+    return Graph(len(mapping), edges, dedupe=True), mapping
+
+
+def to_networkx(graph: Graph) -> nx.Graph:
+    """Convert a :class:`repro.graph.Graph` to a :class:`networkx.Graph`."""
+    nx_graph = nx.Graph()
+    nx_graph.add_nodes_from(range(graph.num_nodes))
+    nx_graph.add_edges_from(graph.edges())
+    return nx_graph

@@ -1,0 +1,155 @@
+"""Whole-graph statistics used to characterize the benchmark datasets.
+
+The paper's discussion of its results (§7.4) attributes the differences in
+speedup across datasets to two structural properties: the *average degree*
+and the *clustering coefficient* ("these graphs either have large clustering
+coefficients or small average degrees").  This module provides those
+measures plus the degree-distribution summaries used by the extended
+dataset table, so the same analysis can be replayed on the surrogates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import EmptyGraphError
+from repro.graph.graph import Graph
+from repro.utils.rng import RandomState, ensure_rng
+
+
+def local_clustering_coefficient(graph: Graph, node: int) -> float:
+    """Fraction of a node's neighbor pairs that are themselves connected.
+
+    Nodes of degree 0 or 1 have coefficient 0 by convention.
+    """
+    neighbors = [int(v) for v in graph.neighbors(node)]
+    degree = len(neighbors)
+    if degree < 2:
+        return 0.0
+    neighbor_set = set(neighbors)
+    links = 0
+    for u in neighbors:
+        for w in graph.neighbors(u):
+            w = int(w)
+            if w in neighbor_set and u < w:
+                links += 1
+    return 2.0 * links / (degree * (degree - 1))
+
+
+def average_clustering_coefficient(
+    graph: Graph,
+    *,
+    sample_size: int | None = None,
+    seed: RandomState = None,
+) -> float:
+    """Mean local clustering coefficient over all nodes (or a uniform sample).
+
+    Sampling keeps the cost manageable on the larger surrogates: the
+    estimator is unbiased and the benchmark only needs the coarse
+    high-vs-low distinction the paper's discussion relies on.
+    """
+    if graph.num_nodes == 0:
+        raise EmptyGraphError("clustering coefficient of an empty graph is undefined")
+    if sample_size is None or sample_size >= graph.num_nodes:
+        nodes = list(graph.nodes())
+    else:
+        rng = ensure_rng(seed)
+        nodes = [int(v) for v in rng.choice(graph.num_nodes, size=sample_size, replace=False)]
+    total = sum(local_clustering_coefficient(graph, node) for node in nodes)
+    return total / len(nodes)
+
+
+def triangle_count(graph: Graph) -> int:
+    """Total number of triangles in the graph (each counted once)."""
+    count = 0
+    for u in graph.nodes():
+        neighbors_u = [int(v) for v in graph.neighbors(u) if int(v) > u]
+        neighbor_set = set(neighbors_u)
+        for v in neighbors_u:
+            for w in graph.neighbors(v):
+                w = int(w)
+                if w > v and w in neighbor_set:
+                    count += 1
+    return count
+
+
+def degree_histogram(graph: Graph) -> dict[int, int]:
+    """Mapping from degree value to the number of nodes with that degree."""
+    if graph.num_nodes == 0:
+        return {}
+    values, counts = np.unique(graph.degrees, return_counts=True)
+    return {int(d): int(c) for d, c in zip(values, counts, strict=True)}
+
+
+def degree_assortativity(graph: Graph) -> float:
+    """Pearson correlation of the degrees at the two ends of each edge.
+
+    Positive values mean hubs attach to hubs (assortative); most social
+    networks are close to zero or negative.  Returns 0.0 for graphs whose
+    edges all join equal-degree nodes (no variance).
+    """
+    if graph.num_edges == 0:
+        raise EmptyGraphError("assortativity of an edgeless graph is undefined")
+    left = []
+    right = []
+    for u, v in graph.edges():
+        left.append(graph.degree(u))
+        right.append(graph.degree(v))
+        # Count each edge in both orientations so the measure is symmetric.
+        left.append(graph.degree(v))
+        right.append(graph.degree(u))
+    left_arr = np.asarray(left, dtype=float)
+    right_arr = np.asarray(right, dtype=float)
+    if left_arr.std() == 0.0 or right_arr.std() == 0.0:
+        return 0.0
+    return float(np.corrcoef(left_arr, right_arr)[0, 1])
+
+
+@dataclass(frozen=True)
+class GraphSummary:
+    """A bundle of the structural statistics reported for each dataset."""
+
+    num_nodes: int
+    num_edges: int
+    average_degree: float
+    max_degree: int
+    median_degree: float
+    clustering_coefficient: float
+    assortativity: float
+
+    def as_dict(self) -> dict[str, float]:
+        """Flatten to a plain dictionary for the reporting helpers."""
+        return {
+            "n": self.num_nodes,
+            "m": self.num_edges,
+            "avg_degree": round(self.average_degree, 2),
+            "max_degree": self.max_degree,
+            "median_degree": self.median_degree,
+            "clustering_coefficient": round(self.clustering_coefficient, 4),
+            "assortativity": round(self.assortativity, 4),
+        }
+
+
+def summarize_graph(
+    graph: Graph,
+    *,
+    clustering_sample: int | None = 500,
+    seed: RandomState = 0,
+) -> GraphSummary:
+    """Compute a :class:`GraphSummary` (clustering coefficient on a sample)."""
+    if graph.num_nodes == 0:
+        raise EmptyGraphError("cannot summarize an empty graph")
+    degrees = graph.degrees
+    return GraphSummary(
+        num_nodes=graph.num_nodes,
+        num_edges=graph.num_edges,
+        average_degree=graph.average_degree,
+        max_degree=int(degrees.max()),
+        median_degree=float(np.median(degrees)),
+        clustering_coefficient=average_clustering_coefficient(
+            graph, sample_size=clustering_sample, seed=seed
+        ),
+        assortativity=degree_assortativity(graph) if graph.num_edges > 0 else 0.0,
+    )

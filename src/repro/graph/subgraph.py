@@ -1,0 +1,124 @@
+"""Subgraph sampling and density tools for the sensitivity experiment (§7.7).
+
+The paper selects 250 random subgraphs per dataset, sorts them by density,
+and builds three seed-node query sets (high / medium / low density).  This
+module provides the subgraph sampler, the density measure, and the
+stratified seed sampler that reproduce that protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import EmptyGraphError, ParameterError
+from repro.graph.graph import Graph
+from repro.utils.rng import RandomState, ensure_rng
+
+
+def subgraph_density(graph: Graph, nodes: set[int] | list[int]) -> float:
+    """Density of the subgraph induced by ``nodes``.
+
+    Defined as internal edges divided by the maximum possible number of
+    edges, ``|E_S| / (|S| (|S|-1) / 2)``; a single node has density 0.
+    """
+    node_set = {int(v) for v in nodes}
+    size = len(node_set)
+    if size == 0:
+        raise EmptyGraphError("density of an empty node set is undefined")
+    if size == 1:
+        return 0.0
+    internal = 0
+    for node in node_set:
+        for nbr in graph.neighbors(node):
+            if int(nbr) in node_set and node < int(nbr):
+                internal += 1
+    return 2.0 * internal / (size * (size - 1))
+
+
+def random_connected_subgraph(
+    graph: Graph, size: int, *, seed: RandomState = None
+) -> set[int]:
+    """Sample a connected node set of (at most) ``size`` nodes via BFS-style growth.
+
+    Starts from a uniformly random node and repeatedly adds a random frontier
+    node, yielding a connected region comparable to the paper's random
+    subgraph selection.
+    """
+    if size < 1:
+        raise ParameterError(f"subgraph size must be >= 1, got {size}")
+    if graph.num_nodes == 0:
+        raise EmptyGraphError("cannot sample a subgraph from an empty graph")
+    rng = ensure_rng(seed)
+    start = int(rng.integers(graph.num_nodes))
+    selected = {start}
+    frontier = [int(v) for v in graph.neighbors(start)]
+    while frontier and len(selected) < size:
+        pick = int(frontier.pop(int(rng.integers(len(frontier)))))
+        if pick in selected:
+            continue
+        selected.add(pick)
+        for nbr in graph.neighbors(pick):
+            nbr = int(nbr)
+            if nbr not in selected:
+                frontier.append(nbr)
+    return selected
+
+
+@dataclass(frozen=True)
+class DensityStratifiedSeeds:
+    """Seed-node query sets drawn from high / medium / low density subgraphs."""
+
+    high_density: list[int]
+    medium_density: list[int]
+    low_density: list[int]
+
+    def as_dict(self) -> dict[str, list[int]]:
+        """Return the three query sets keyed by stratum name."""
+        return {
+            "high-density": self.high_density,
+            "medium-density": self.medium_density,
+            "low-density": self.low_density,
+        }
+
+
+def sample_density_stratified_seeds(
+    graph: Graph,
+    *,
+    num_subgraphs: int = 60,
+    subgraph_size: int = 30,
+    seeds_per_stratum: int = 10,
+    seed: RandomState = None,
+) -> DensityStratifiedSeeds:
+    """Reproduce the paper's §7.7 query-set construction at reduced scale.
+
+    Samples ``num_subgraphs`` random connected subgraphs, sorts them by
+    density, and draws ``seeds_per_stratum`` seed nodes from the densest
+    third, the middle third, and the sparsest third respectively.
+    """
+    if num_subgraphs < 3:
+        raise ParameterError("need at least 3 subgraphs to form three strata")
+    rng = ensure_rng(seed)
+    samples: list[tuple[float, set[int]]] = []
+    for _ in range(num_subgraphs):
+        nodes = random_connected_subgraph(graph, subgraph_size, seed=rng)
+        samples.append((subgraph_density(graph, nodes), nodes))
+    samples.sort(key=lambda pair: -pair[0])
+
+    third = len(samples) // 3
+    strata = {
+        "high": samples[:third],
+        "medium": samples[third : 2 * third],
+        "low": samples[2 * third :],
+    }
+
+    def draw(stratum: list[tuple[float, set[int]]]) -> list[int]:
+        pool = sorted({node for _, nodes in stratum for node in nodes})
+        count = min(seeds_per_stratum, len(pool))
+        picks = rng.choice(len(pool), size=count, replace=False)
+        return [pool[int(i)] for i in picks]
+
+    return DensityStratifiedSeeds(
+        high_density=draw(strata["high"]),
+        medium_density=draw(strata["medium"]),
+        low_density=draw(strata["low"]),
+    )

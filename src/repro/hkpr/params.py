@@ -1,0 +1,150 @@
+"""Parameter objects for (d, eps_r, delta)-approximate HKPR estimation.
+
+The paper's problem statement (Definition 1) is parameterized by
+
+* ``t``      — the heat constant,
+* ``eps_r``  — relative error bound on degree-normalized HKPR above ``delta``,
+* ``delta``  — the normalized-HKPR significance threshold,
+* ``p_f``    — the allowed failure probability.
+
+From these the algorithms derive
+
+* ``p'_f``   — the per-node failure budget (Eq. 6), precomputable per graph,
+* ``omega``  — the walk-count coefficient (TEA: Eq. in §4.2, TEA+: §5.3),
+* ``K``      — the maximum push hop for HK-Push+ (Eq. 20),
+* ``n_p``    — the push budget for HK-Push+ (``omega * t / 2``).
+
+:class:`HKPRParams` holds the four user-facing parameters and exposes the
+derived quantities as methods taking the graph (whose ``n`` and ``d̄`` they
+depend on).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.exceptions import ParameterError
+from repro.graph.graph import Graph
+
+#: Default heat constant; the paper uses t = 5 following prior work.
+DEFAULT_T = 5.0
+#: Default relative error threshold used throughout the paper's experiments.
+DEFAULT_EPS_R = 0.5
+#: Default failure probability used throughout the paper's experiments.
+DEFAULT_P_F = 1e-6
+#: Default HK-Push+ hop-cap constant; the paper tunes this to 2.5 (Figure 2).
+DEFAULT_C = 2.5
+
+
+def effective_failure_probability(graph: Graph, p_f: float) -> float:
+    """Per-node failure budget ``p'_f`` from Equation (6).
+
+    ``p'_f = p_f`` when ``sum_v p_f^(d(v)-1) <= 1``; otherwise it is scaled
+    down by that sum so the union bound over all nodes still yields overall
+    failure probability at most ``p_f``.  The paper notes this can be
+    precomputed once per graph.
+    """
+    if not 0.0 < p_f < 1.0:
+        raise ParameterError(f"failure probability must be in (0, 1), got {p_f}")
+    total = 0.0
+    for degree in graph.degrees:
+        total += p_f ** (max(int(degree), 1) - 1)
+    if total <= 1.0:
+        return p_f
+    return p_f / total
+
+
+@dataclass(frozen=True)
+class HKPRParams:
+    """User-facing parameters of a (d, eps_r, delta)-approximate HKPR query.
+
+    Examples
+    --------
+    >>> params = HKPRParams(t=5.0, eps_r=0.5, delta=1e-4, p_f=1e-6)
+    >>> params.t
+    5.0
+    """
+
+    t: float = DEFAULT_T
+    eps_r: float = DEFAULT_EPS_R
+    delta: float = 1e-4
+    p_f: float = DEFAULT_P_F
+    c: float = DEFAULT_C
+
+    def __post_init__(self) -> None:
+        if self.t <= 0:
+            raise ParameterError(f"heat constant t must be positive, got {self.t}")
+        if not 0.0 < self.eps_r < 1.0:
+            raise ParameterError(
+                f"relative error eps_r must be in (0, 1), got {self.eps_r}"
+            )
+        if not 0.0 < self.delta < 1.0:
+            raise ParameterError(f"delta must be in (0, 1), got {self.delta}")
+        if not 0.0 < self.p_f < 1.0:
+            raise ParameterError(f"p_f must be in (0, 1), got {self.p_f}")
+        if self.c <= 0:
+            raise ParameterError(f"hop-cap constant c must be positive, got {self.c}")
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities
+    # ------------------------------------------------------------------ #
+    def with_delta(self, delta: float) -> "HKPRParams":
+        """Return a copy with a different ``delta`` (used by parameter sweeps)."""
+        return replace(self, delta=delta)
+
+    def with_t(self, t: float) -> "HKPRParams":
+        """Return a copy with a different heat constant."""
+        return replace(self, t=t)
+
+    def scaled_delta(self, graph: Graph) -> float:
+        """``delta`` interpreted per-graph: the paper often uses ``delta = 1/n``."""
+        return self.delta
+
+    def effective_p_f(self, graph: Graph) -> float:
+        """Per-node failure budget ``p'_f`` (Eq. 6) for ``graph``."""
+        return effective_failure_probability(graph, self.p_f)
+
+    def omega_tea(self, graph: Graph) -> float:
+        """TEA's walk-count coefficient ``omega`` (Algorithm 3, Line 5)."""
+        p_prime = self.effective_p_f(graph)
+        return 2.0 * (1.0 + self.eps_r / 3.0) * math.log(1.0 / p_prime) / (
+            self.eps_r**2 * self.delta
+        )
+
+    def omega_tea_plus(self, graph: Graph) -> float:
+        """TEA+'s walk-count coefficient ``omega`` (Algorithm 5, Line 5)."""
+        p_prime = self.effective_p_f(graph)
+        return 8.0 * (1.0 + self.eps_r / 6.0) * math.log(1.0 / p_prime) / (
+            self.eps_r**2 * self.delta
+        )
+
+    def omega_monte_carlo(self, graph: Graph) -> float:
+        """The plain Monte-Carlo walk count from §3 (uses ``log(n / p_f)``)."""
+        n = max(graph.num_nodes, 2)
+        return 2.0 * (1.0 + self.eps_r / 3.0) * math.log(n / self.p_f) / (
+            self.eps_r**2 * self.delta
+        )
+
+    def max_hop_tea_plus(self, graph: Graph) -> int:
+        """HK-Push+'s hop cap ``K = c log(1/(eps_r delta)) / log(d̄)`` (Eq. 20).
+
+        Clamped to at least 1; a graph with average degree <= 1 would make the
+        denominator non-positive, in which case we fall back to ``log 2``.
+        """
+        avg_degree = graph.average_degree
+        log_avg = math.log(avg_degree) if avg_degree > 1.0 + 1e-12 else math.log(2.0)
+        k = self.c * math.log(1.0 / (self.eps_r * self.delta)) / log_avg
+        return max(1, int(math.ceil(k)))
+
+    def push_budget_tea_plus(self, graph: Graph) -> int:
+        """HK-Push+'s push budget ``n_p = omega * t / 2`` (Algorithm 5, Line 5)."""
+        return max(1, int(math.ceil(self.omega_tea_plus(graph) * self.t / 2.0)))
+
+    def rmax_tea(self, graph: Graph) -> float:
+        """TEA's recommended residue threshold ``r_max = 1 / (omega * t)`` (§4.2)."""
+        return 1.0 / (self.omega_tea(graph) * self.t)
+
+    def absolute_error_target(self) -> float:
+        """The absolute error ``eps_a = eps_r * delta`` used by the early exit."""
+        return self.eps_r * self.delta

@@ -1,0 +1,107 @@
+"""Result container shared by every HKPR estimator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.utils.counters import OperationCounters
+from repro.utils.sparsevec import SparseVector
+
+
+@dataclass
+class HKPRResult:
+    """An approximate HKPR vector together with its provenance.
+
+    Attributes
+    ----------
+    estimates:
+        Sparse approximate HKPR vector ``rho_hat_s`` (without the lazy TEA+
+        offset; see :attr:`offset_per_degree`).
+    seed:
+        The seed node the query was issued for.
+    method:
+        Name of the estimator that produced the result.
+    counters:
+        Machine-independent operation counts (pushes, walks, steps).
+    elapsed_seconds:
+        Wall-clock time spent inside the estimator.
+    offset_per_degree:
+        TEA+ adds ``eps_r * delta / 2 * d(v)`` to every estimate (Algorithm 5,
+        Lines 18-19).  The paper notes this can be applied lazily; we store
+        the coefficient and apply it on access so the sparse support stays
+        tight.  Zero for all other estimators.
+    early_exit:
+        True when TEA+ returned directly from HK-Push+ via Theorem 2 without
+        performing random walks.
+    """
+
+    estimates: SparseVector
+    seed: int
+    method: str
+    counters: OperationCounters = field(default_factory=OperationCounters)
+    elapsed_seconds: float = 0.0
+    offset_per_degree: float = 0.0
+    early_exit: bool = False
+
+    def value(self, node: int, graph: Graph, *, include_offset: bool = True) -> float:
+        """Estimated HKPR of ``node`` (with the lazy offset applied by default)."""
+        base = self.estimates[node]
+        if include_offset and self.offset_per_degree:
+            base += self.offset_per_degree * graph.degree(node)
+        return base
+
+    def normalized(self, node: int, graph: Graph, *, include_offset: bool = False) -> float:
+        """Degree-normalized estimate ``rho_hat_s[v] / d(v)``.
+
+        The offset contributes the same additive constant to every node's
+        normalized value, so it never changes the sweep ordering; it is
+        excluded by default, matching the paper's remark in §5.3.
+        """
+        degree = graph.degree(node)
+        if degree == 0:
+            return 0.0
+        value = self.estimates[node] / degree
+        if include_offset:
+            value += self.offset_per_degree
+        return value
+
+    def support(self) -> list[int]:
+        """Nodes with a non-zero (stored) estimate."""
+        return list(self.estimates.keys())
+
+    def support_size(self) -> int:
+        """Number of nodes with a stored estimate."""
+        return self.estimates.nnz()
+
+    def to_dense(self, graph: Graph, *, include_offset: bool = True) -> np.ndarray:
+        """Materialize the estimate as a dense array of length ``n``."""
+        dense = self.estimates.to_dense(graph.num_nodes)
+        if include_offset and self.offset_per_degree:
+            dense = dense + self.offset_per_degree * graph.degrees.astype(float)
+        return dense
+
+    def normalized_dense(self, graph: Graph, *, include_offset: bool = False) -> np.ndarray:
+        """Dense degree-normalized vector ``rho_hat_s / d`` (0 for isolated nodes)."""
+        dense = self.to_dense(graph, include_offset=include_offset)
+        degrees = graph.degrees.astype(float)
+        out = np.zeros_like(dense)
+        nonzero = degrees > 0
+        out[nonzero] = dense[nonzero] / degrees[nonzero]
+        return out
+
+    def ranking(self, graph: Graph) -> list[int]:
+        """Support nodes sorted by descending normalized HKPR (sweep order)."""
+        return sorted(
+            self.support(),
+            key=lambda v: (-self.normalized(v, graph), v),
+        )
+
+    def total_mass(self, graph: Graph, *, include_offset: bool = False) -> float:
+        """Sum of all estimates — close to 1 for accurate estimators."""
+        total = self.estimates.sum()
+        if include_offset and self.offset_per_degree:
+            total += self.offset_per_degree * graph.total_volume
+        return total

@@ -1,0 +1,165 @@
+"""TEA+ (Algorithm 5): TEA with budgeted push, residue reduction and offset.
+
+TEA+ keeps TEA's two-phase structure but adds the optimizations that make it
+practical (§5):
+
+1. **Budgeted, hop-capped push** — HK-Push+ runs with a push budget
+   ``n_p = omega * t / 2`` and a hop cap ``K = c log(1/(eps_r delta)) / log(d̄)``.
+2. **Early exit (Theorem 2)** — if after the push phase
+   ``sum_k max_u r^(k)[u]/d(u) <= eps_r * delta``, the reserve alone is
+   already (d, eps_r, delta)-approximate and no walks are performed.
+3. **Residue reduction (§5.2)** — before walking, every residue
+   ``r^(k)[u]`` is reduced by ``beta_k * eps_r * delta * d(u)`` where
+   ``beta_k`` is hop ``k``'s share of the residue mass.  Because
+   ``sum_k beta_k = 1``, the induced degree-normalized error is at most
+   ``eps_r * delta``, and the surviving residue mass (hence the number of
+   walks) can drop by orders of magnitude.
+4. **Offset correction** — adding ``eps_r * delta / 2 * d(v)`` to every
+   estimate recentres the reduction-induced (one-sided) error, halving the
+   worst-case absolute error (Lines 18-19).  The offset is stored lazily on
+   the result since it never changes the sweep ordering.
+
+Theorem 3 shows the output is (d, eps_r, delta)-approximate with probability
+at least ``1 - p_f``, and the expected time is ``O(t log(n/p_f)/(eps_r^2 delta))``.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+from repro.exceptions import ParameterError
+from repro.graph.graph import Graph
+from repro.hkpr.alias import AliasSampler
+from repro.hkpr.hk_push_plus import hk_push_plus
+from repro.hkpr.params import HKPRParams
+from repro.hkpr.poisson import PoissonWeights
+from repro.hkpr.random_walk import k_random_walk
+from repro.hkpr.result import HKPRResult
+from repro.utils.counters import OperationCounters
+from repro.utils.rng import RandomState, ensure_rng
+
+
+def tea_plus(
+    graph: Graph,
+    seed_node: int,
+    params: HKPRParams,
+    *,
+    rng: RandomState = None,
+    max_walks: int | None = None,
+    apply_residue_reduction: bool = True,
+    apply_offset: bool = True,
+    push_budget: int | None = None,
+    max_hop: int | None = None,
+) -> HKPRResult:
+    """Estimate the HKPR vector of ``seed_node`` with TEA+ (Algorithm 5).
+
+    Parameters
+    ----------
+    graph, seed_node, params:
+        The (d, eps_r, delta, p_f) query; ``params.c`` controls the hop cap.
+    rng:
+        Seed or generator for the walk phase.
+    max_walks:
+        Optional safety cap on the number of walks (guarantee waived when it
+        triggers).
+    apply_residue_reduction, apply_offset:
+        Ablation switches for the §5.2 residue reduction and the Lines-18/19
+        offset.  Both default to the paper's behaviour; the ablation
+        benchmark disables them individually.
+    push_budget, max_hop:
+        Overrides for ``n_p`` and ``K`` (defaults follow Algorithm 5, Line 5).
+
+    Returns
+    -------
+    HKPRResult
+        ``early_exit`` is set when Theorem 2 allowed returning without walks;
+        ``offset_per_degree`` carries the lazy offset coefficient.
+    """
+    if not graph.has_node(seed_node):
+        raise ParameterError(f"seed node {seed_node} is not in the graph")
+    generator = ensure_rng(rng)
+    start = time.perf_counter()
+
+    weights = PoissonWeights(params.t)
+    omega = params.omega_tea_plus(graph)
+    budget = push_budget if push_budget is not None else params.push_budget_tea_plus(graph)
+    hop_cap = max_hop if max_hop is not None else params.max_hop_tea_plus(graph)
+    absolute_target = params.absolute_error_target()
+
+    counters = OperationCounters()
+    counters.extras["omega"] = omega
+    counters.extras["push_budget"] = float(budget)
+    counters.extras["max_hop"] = float(hop_cap)
+
+    push_outcome = hk_push_plus(
+        graph,
+        seed_node,
+        params.eps_r,
+        params.delta,
+        hop_cap,
+        budget,
+        weights,
+        counters=counters,
+    )
+    estimates = push_outcome.reserve
+    residues = push_outcome.residues
+
+    # Early exit (Theorem 2): the reserve alone already meets the guarantee.
+    if residues.max_normalized_sum(graph) <= absolute_target:
+        counters.reserve_entries = max(counters.reserve_entries, estimates.nnz())
+        elapsed = time.perf_counter() - start
+        return HKPRResult(
+            estimates=estimates,
+            seed=seed_node,
+            method="tea+",
+            counters=counters,
+            elapsed_seconds=elapsed,
+            offset_per_degree=0.0,
+            early_exit=True,
+        )
+
+    # Residue reduction (Lines 8-11).
+    if apply_residue_reduction:
+        betas = residues.reduce_residues(graph, params.eps_r, params.delta)
+        counters.extras["num_reduced_hops"] = float(sum(1 for b in betas if b > 0))
+
+    # Random-walk refinement (Lines 12-17, identical to TEA's walk phase).
+    entries = list(residues.nonzero_entries())
+    alpha = sum(value for _, _, value in entries)
+    counters.extras["alpha"] = alpha
+    if alpha > 0.0 and entries:
+        num_walks = int(math.ceil(alpha * omega))
+        if max_walks is not None:
+            num_walks = min(num_walks, max_walks)
+        if num_walks > 0:
+            sampler = AliasSampler(
+                [(node, hop) for hop, node, _ in entries],
+                [value for _, _, value in entries],
+            )
+            increment = alpha / num_walks
+            for _ in range(num_walks):
+                walk_node, walk_hop = sampler.sample(generator)
+                end_node = k_random_walk(
+                    graph, walk_node, walk_hop, weights, generator, counters=counters
+                )
+                estimates.add(end_node, increment)
+
+    # Offset correction (Lines 18-19), stored lazily on the result.
+    offset = (
+        params.eps_r * params.delta / 2.0
+        if (apply_offset and apply_residue_reduction)
+        else 0.0
+    )
+
+    counters.reserve_entries = max(counters.reserve_entries, estimates.nnz())
+    elapsed = time.perf_counter() - start
+    return HKPRResult(
+        estimates=estimates,
+        seed=seed_node,
+        method="tea+",
+        counters=counters,
+        elapsed_seconds=elapsed,
+        offset_per_degree=offset,
+        early_exit=False,
+    )

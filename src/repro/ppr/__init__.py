@@ -1,0 +1,26 @@
+"""Personalized PageRank (PPR) estimators.
+
+The paper's related-work discussion (§6) contrasts HKPR with PPR at length:
+PPR's random walks are *Markovian* (a constant per-step termination
+probability ``alpha``), which is what lets FORA merge residues produced at
+different hops into a single residue vector — the simplification that HKPR's
+non-Markovian walks forbid and that TEA/TEA+ must work around with per-hop
+residues.
+
+This subpackage implements the PPR side of that comparison on the same
+substrate, so users can study the two diffusions side by side:
+
+* :func:`repro.ppr.exact.exact_ppr` — power-iteration ground truth,
+* :func:`repro.ppr.push.forward_push` — the Andersen–Chung–Lang local push,
+* :func:`repro.ppr.fora.fora` — FORA (forward push + random walks),
+* :func:`repro.ppr.fora.monte_carlo_ppr` — the plain Monte-Carlo estimator.
+
+All estimators reuse :class:`repro.hkpr.result.HKPRResult` as their result
+container (it is a generic "sparse score vector + counters" bundle).
+"""
+
+from repro.ppr.exact import exact_ppr
+from repro.ppr.fora import fora, monte_carlo_ppr
+from repro.ppr.push import forward_push
+
+__all__ = ["exact_ppr", "fora", "forward_push", "monte_carlo_ppr"]

@@ -1,0 +1,176 @@
+"""FORA-style personalized PageRank estimation (Wang et al., KDD 2017).
+
+FORA is the PPR algorithm TEA generalizes (§6): run the forward push until
+the residues are small, then cover the remaining mass
+
+    pi_s[v] - p[v] = sum_u r[u] * pi_u[v]
+
+with geometric-length random walks whose starting nodes are sampled
+proportionally to the residues.  Because PPR walks are memoryless, a single
+residue vector suffices and each walk simply restarts with probability
+``alpha`` at every step — no hop bookkeeping is needed, unlike
+:func:`repro.hkpr.tea.tea`.
+
+Implemented here so the HKPR-vs-PPR comparison the paper draws analytically
+can also be made empirically on the same substrate.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+from repro.graph.graph import Graph
+from repro.hkpr.alias import AliasSampler
+from repro.hkpr.result import HKPRResult
+from repro.ppr.push import forward_push
+from repro.utils.counters import OperationCounters
+from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.sparsevec import SparseVector
+
+
+def _geometric_walk(
+    graph: Graph,
+    start_node: int,
+    alpha: float,
+    rng: np.random.Generator,
+    counters: OperationCounters,
+) -> int:
+    """Walk that stops with probability ``alpha`` at each step; returns the end node."""
+    current = start_node
+    steps = 0
+    while rng.random() > alpha:
+        if graph.degree(current) == 0:
+            break
+        current = graph.random_neighbor(current, rng)
+        steps += 1
+    counters.record_walk(steps)
+    return current
+
+
+def walk_count(graph: Graph, eps_r: float, delta: float, p_f: float) -> int:
+    """FORA's theory-driven number of walks ``omega`` (Chernoff-based)."""
+    if not 0.0 < eps_r < 1.0 or not 0.0 < delta < 1.0 or not 0.0 < p_f < 1.0:
+        raise ParameterError("eps_r, delta and p_f must all lie in (0, 1)")
+    n = max(graph.num_nodes, 2)
+    return max(
+        1,
+        int(
+            math.ceil(
+                (2.0 * eps_r / 3.0 + 2.0)
+                * math.log(2.0 * n / p_f)
+                / (eps_r**2 * delta)
+            )
+        ),
+    )
+
+
+def monte_carlo_ppr(
+    graph: Graph,
+    seed_node: int,
+    *,
+    alpha: float = 0.15,
+    num_walks: int = 10_000,
+    rng: RandomState = None,
+) -> HKPRResult:
+    """Plain Monte-Carlo PPR: the fraction of restart walks ending at each node."""
+    if not graph.has_node(seed_node):
+        raise ParameterError(f"seed node {seed_node} is not in the graph")
+    if num_walks < 1:
+        raise ParameterError(f"num_walks must be >= 1, got {num_walks}")
+    if not 0.0 < alpha < 1.0:
+        raise ParameterError(f"alpha must be in (0, 1), got {alpha}")
+    generator = ensure_rng(rng)
+    start = time.perf_counter()
+    counters = OperationCounters()
+    estimates = SparseVector()
+    increment = 1.0 / num_walks
+    for _ in range(num_walks):
+        end_node = _geometric_walk(graph, seed_node, alpha, generator, counters)
+        estimates.add(end_node, increment)
+    counters.reserve_entries = estimates.nnz()
+    return HKPRResult(
+        estimates=estimates,
+        seed=seed_node,
+        method="monte-carlo-ppr",
+        counters=counters,
+        elapsed_seconds=time.perf_counter() - start,
+    )
+
+
+def fora(
+    graph: Graph,
+    seed_node: int,
+    *,
+    alpha: float = 0.15,
+    eps_r: float = 0.5,
+    delta: float | None = None,
+    p_f: float = 1e-6,
+    r_max: float | None = None,
+    rng: RandomState = None,
+    max_walks: int | None = None,
+) -> HKPRResult:
+    """Estimate the PPR vector of ``seed_node`` with FORA (push + walks).
+
+    Parameters
+    ----------
+    alpha:
+        Teleport probability.
+    eps_r, delta, p_f:
+        Relative-error target, significance threshold (default ``1/n``) and
+        failure probability — the same roles as in the HKPR estimators.
+    r_max:
+        Push threshold; defaults to the cost-balancing choice
+        ``sqrt(eps_r^2 * delta / (m * log(2n/p_f)))`` from the FORA paper,
+        clamped to at most ``1/omega``.
+    max_walks:
+        Optional safety cap on the number of walks.
+    """
+    if not graph.has_node(seed_node):
+        raise ParameterError(f"seed node {seed_node} is not in the graph")
+    generator = ensure_rng(rng)
+    start = time.perf_counter()
+    effective_delta = delta if delta is not None else 1.0 / max(graph.num_nodes, 2)
+    omega = walk_count(graph, eps_r, effective_delta, p_f)
+    if r_max is None:
+        m = max(graph.num_edges, 1)
+        balanced = math.sqrt(
+            eps_r**2 * effective_delta / (m * math.log(2.0 * graph.num_nodes / p_f))
+        )
+        r_max = min(balanced, 1.0 / omega) if omega > 0 else balanced
+        r_max = max(r_max, 1e-12)
+
+    counters = OperationCounters()
+    counters.extras["omega"] = float(omega)
+    push_outcome = forward_push(
+        graph, seed_node, alpha=alpha, r_max=r_max, counters=counters
+    )
+    estimates = push_outcome.reserve
+    residue = push_outcome.residue
+
+    residual_mass = residue.sum()
+    counters.extras["alpha_mass"] = residual_mass
+    if residual_mass > 0.0 and residue.nnz() > 0:
+        num_walks = int(math.ceil(residual_mass * omega))
+        if max_walks is not None:
+            num_walks = min(num_walks, max_walks)
+        if num_walks > 0:
+            entries = list(residue.items())
+            sampler = AliasSampler([node for node, _ in entries], [v for _, v in entries])
+            increment = residual_mass / num_walks
+            for _ in range(num_walks):
+                walk_start = sampler.sample(generator)
+                end_node = _geometric_walk(graph, walk_start, alpha, generator, counters)
+                estimates.add(end_node, increment)
+
+    counters.reserve_entries = max(counters.reserve_entries, estimates.nnz())
+    return HKPRResult(
+        estimates=estimates,
+        seed=seed_node,
+        method="fora",
+        counters=counters,
+        elapsed_seconds=time.perf_counter() - start,
+    )

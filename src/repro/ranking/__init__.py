@@ -1,0 +1,13 @@
+"""Ranking-accuracy metrics for normalized HKPR (§7.5)."""
+
+from repro.ranking.metrics import kendall_tau, precision_at_k, relative_error_profile
+from repro.ranking.ndcg import dcg, ndcg, ndcg_of_estimate
+
+__all__ = [
+    "dcg",
+    "kendall_tau",
+    "ndcg",
+    "ndcg_of_estimate",
+    "precision_at_k",
+    "relative_error_profile",
+]

@@ -1,0 +1,8 @@
+"""Shared utilities: RNG plumbing, timers, operation counters, sparse vectors."""
+
+from repro.utils.counters import OperationCounters
+from repro.utils.rng import ensure_rng
+from repro.utils.sparsevec import SparseVector
+from repro.utils.timer import Timer
+
+__all__ = ["OperationCounters", "SparseVector", "Timer", "ensure_rng"]

@@ -1,0 +1,77 @@
+"""Machine-independent cost accounting.
+
+The paper reports wall-clock milliseconds on a specific C++/server setup.  A
+pure-Python reproduction cannot match those absolute numbers, so every HKPR
+algorithm in this package additionally reports *operation counters*:
+
+* ``push_operations`` — residue-to-neighbor transfers (the unit HK-Push,
+  HK-Push+ and HK-Relax are budgeted in),
+* ``random_walks`` — number of walks started,
+* ``walk_steps`` — total edges traversed by walks,
+* ``residue_entries`` — peak number of non-zero residue entries (a proxy for
+  the working-set memory the paper measures in Figure 5).
+
+These counters make the cost model of each algorithm reproducible regardless
+of host speed and are what the benchmark harness reports alongside seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class OperationCounters:
+    """Mutable tally of the work done by one HKPR estimation."""
+
+    push_operations: int = 0
+    random_walks: int = 0
+    walk_steps: int = 0
+    residue_entries: int = 0
+    reserve_entries: int = 0
+    extras: dict[str, float] = field(default_factory=dict)
+
+    def record_pushes(self, count: int) -> None:
+        """Add ``count`` push operations."""
+        self.push_operations += count
+
+    def record_walk(self, steps: int) -> None:
+        """Record one random walk that traversed ``steps`` edges."""
+        self.random_walks += 1
+        self.walk_steps += steps
+
+    def merge(self, other: "OperationCounters") -> "OperationCounters":
+        """Return a new counter that is the element-wise sum of two counters."""
+        merged = OperationCounters(
+            push_operations=self.push_operations + other.push_operations,
+            random_walks=self.random_walks + other.random_walks,
+            walk_steps=self.walk_steps + other.walk_steps,
+            residue_entries=max(self.residue_entries, other.residue_entries),
+            reserve_entries=max(self.reserve_entries, other.reserve_entries),
+        )
+        merged.extras = {**self.extras}
+        for key, value in other.extras.items():
+            merged.extras[key] = merged.extras.get(key, 0.0) + value
+        return merged
+
+    @property
+    def total_work(self) -> int:
+        """Pushes plus walk steps — a single scalar proxy for running time."""
+        return self.push_operations + self.walk_steps
+
+    def memory_entries(self) -> int:
+        """Number of vector entries held, the Figure-5 memory proxy."""
+        return self.residue_entries + self.reserve_entries
+
+    def as_dict(self) -> dict[str, float]:
+        """Flatten the counters into a plain dictionary for reporting."""
+        out: dict[str, float] = {
+            "push_operations": self.push_operations,
+            "random_walks": self.random_walks,
+            "walk_steps": self.walk_steps,
+            "residue_entries": self.residue_entries,
+            "reserve_entries": self.reserve_entries,
+            "total_work": self.total_work,
+        }
+        out.update(self.extras)
+        return out

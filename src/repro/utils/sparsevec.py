@@ -1,0 +1,112 @@
+"""A minimal sparse vector keyed by node id.
+
+HKPR vectors are extremely sparse (an estimation touches only the nodes near
+the seed), so the estimators work with dictionaries rather than dense arrays.
+:class:`SparseVector` wraps a ``dict[int, float]`` with the small amount of
+vector algebra the algorithms and the sweep procedure need, plus conversion
+to a dense NumPy array for comparison against ground truth.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping
+
+import numpy as np
+
+
+class SparseVector:
+    """Sparse mapping from node id to a float value.
+
+    Missing entries are implicitly ``0.0``.  Entries set to exactly zero are
+    dropped to keep the support tight.
+    """
+
+    __slots__ = ("_data",)
+
+    def __init__(self, data: Mapping[int, float] | None = None) -> None:
+        self._data: dict[int, float] = {}
+        if data:
+            for key, value in data.items():
+                if value != 0.0:
+                    self._data[int(key)] = float(value)
+
+    def __getitem__(self, node: int) -> float:
+        return self._data.get(node, 0.0)
+
+    def __setitem__(self, node: int, value: float) -> None:
+        if value == 0.0:
+            self._data.pop(node, None)
+        else:
+            self._data[node] = value
+
+    def __contains__(self, node: int) -> bool:
+        return node in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SparseVector(nnz={len(self._data)}, sum={self.sum():.6g})"
+
+    def add(self, node: int, delta: float) -> None:
+        """Add ``delta`` to the entry for ``node``."""
+        new_value = self._data.get(node, 0.0) + delta
+        self[node] = new_value
+
+    def items(self) -> Iterator[tuple[int, float]]:
+        """Iterate over ``(node, value)`` pairs with non-zero value."""
+        return iter(self._data.items())
+
+    def keys(self) -> Iterator[int]:
+        """Iterate over nodes with non-zero value."""
+        return iter(self._data.keys())
+
+    def values(self) -> Iterator[float]:
+        """Iterate over non-zero values."""
+        return iter(self._data.values())
+
+    def sum(self) -> float:
+        """Sum of all entries."""
+        return float(sum(self._data.values()))
+
+    def nnz(self) -> int:
+        """Number of stored (non-zero) entries."""
+        return len(self._data)
+
+    def copy(self) -> "SparseVector":
+        """Return a deep copy."""
+        out = SparseVector()
+        out._data = dict(self._data)
+        return out
+
+    def scale(self, factor: float) -> "SparseVector":
+        """Return a new vector with every entry multiplied by ``factor``."""
+        out = SparseVector()
+        if factor != 0.0:
+            out._data = {k: v * factor for k, v in self._data.items()}
+        return out
+
+    def to_dict(self) -> dict[int, float]:
+        """Return a copy of the underlying dictionary."""
+        return dict(self._data)
+
+    def to_dense(self, n: int) -> np.ndarray:
+        """Materialize as a dense length-``n`` NumPy array."""
+        dense = np.zeros(n, dtype=float)
+        for node, value in self._data.items():
+            if node >= n:
+                raise IndexError(f"node {node} out of range for dense size {n}")
+            dense[node] = value
+        return dense
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, tol: float = 0.0) -> "SparseVector":
+        """Build a sparse vector from a dense array, dropping |x| <= tol."""
+        out = cls()
+        for node, value in enumerate(np.asarray(dense, dtype=float)):
+            if abs(value) > tol:
+                out._data[node] = float(value)
+        return out

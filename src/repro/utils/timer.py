@@ -1,0 +1,57 @@
+"""Wall-clock timing helpers used throughout the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Timer:
+    """A simple accumulating wall-clock timer.
+
+    Can be used as a context manager; each ``with`` block adds to
+    :attr:`elapsed`.
+
+    Examples
+    --------
+    >>> t = Timer()
+    >>> with t:
+    ...     sum(range(1000))
+    499500
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    elapsed: float = 0.0
+    _start: float | None = field(default=None, repr=False)
+
+    def start(self) -> None:
+        """Start (or restart) the timer."""
+        self._start = time.perf_counter()
+
+    def stop(self) -> float:
+        """Stop the timer and return the elapsed time of this interval."""
+        if self._start is None:
+            raise RuntimeError("Timer.stop() called before Timer.start()")
+        interval = time.perf_counter() - self._start
+        self.elapsed += interval
+        self._start = None
+        return interval
+
+    def reset(self) -> None:
+        """Zero the accumulated time."""
+        self.elapsed = 0.0
+        self._start = None
+
+    def __enter__(self) -> "Timer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    @property
+    def elapsed_ms(self) -> float:
+        """Accumulated time in milliseconds (the unit the paper reports)."""
+        return self.elapsed * 1000.0

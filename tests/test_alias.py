@@ -1,0 +1,84 @@
+"""Tests for the Walker alias sampler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.hkpr.alias import AliasSampler
+
+
+class TestConstruction:
+    def test_length_and_total_weight(self):
+        sampler = AliasSampler(["a", "b", "c"], [1.0, 2.0, 3.0])
+        assert len(sampler) == 3
+        assert sampler.total_weight == pytest.approx(6.0)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ParameterError):
+            AliasSampler(["a"], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            AliasSampler([], [])
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ParameterError):
+            AliasSampler(["a", "b"], [1.0, -0.5])
+
+    def test_all_zero_weights_rejected(self):
+        with pytest.raises(ParameterError):
+            AliasSampler(["a", "b"], [0.0, 0.0])
+
+
+class TestSampling:
+    def test_single_item_always_returned(self):
+        sampler = AliasSampler(["only"], [0.7])
+        rng = np.random.default_rng(0)
+        assert all(sampler.sample(rng) == "only" for _ in range(50))
+
+    def test_zero_weight_item_never_sampled(self):
+        sampler = AliasSampler(["never", "always"], [0.0, 1.0])
+        rng = np.random.default_rng(1)
+        draws = sampler.sample_many(500, rng)
+        assert "never" not in draws
+
+    def test_empirical_distribution_matches_weights(self):
+        weights = [1.0, 2.0, 3.0, 4.0]
+        sampler = AliasSampler([0, 1, 2, 3], weights)
+        rng = np.random.default_rng(2)
+        draws = sampler.sample_many(40000, rng)
+        counts = np.bincount(draws, minlength=4) / len(draws)
+        expected = np.array(weights) / sum(weights)
+        assert np.allclose(counts, expected, atol=0.02)
+
+    def test_sample_many_count(self):
+        sampler = AliasSampler([0, 1], [1.0, 1.0])
+        rng = np.random.default_rng(3)
+        assert len(sampler.sample_many(17, rng)) == 17
+        assert sampler.sample_many(0, rng) == []
+
+    def test_sample_many_negative_rejected(self):
+        sampler = AliasSampler([0, 1], [1.0, 1.0])
+        with pytest.raises(ParameterError):
+            sampler.sample_many(-1, np.random.default_rng(0))
+
+    def test_items_can_be_tuples(self):
+        # TEA samples (node, hop) pairs.
+        entries = [(10, 0), (11, 2), (12, 3)]
+        sampler = AliasSampler(entries, [0.2, 0.5, 0.3])
+        rng = np.random.default_rng(4)
+        assert sampler.sample(rng) in entries
+
+    def test_deterministic_given_seed(self):
+        sampler = AliasSampler([0, 1, 2], [0.3, 0.3, 0.4])
+        a = sampler.sample_many(100, np.random.default_rng(9))
+        b = sampler.sample_many(100, np.random.default_rng(9))
+        assert a == b
+
+    def test_highly_skewed_weights(self):
+        sampler = AliasSampler([0, 1], [1e-9, 1.0])
+        rng = np.random.default_rng(5)
+        draws = sampler.sample_many(2000, rng)
+        assert draws.count(1) > 1990

@@ -1,0 +1,95 @@
+"""Tests for batch and seed-set HKPR queries."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.hkpr.batch import aggregate_counters, batch_hkpr, seed_set_hkpr
+from repro.hkpr.exact import exact_hkpr
+from repro.hkpr.params import HKPRParams
+
+
+class TestBatchHKPR:
+    def test_one_result_per_seed(self, clustered_graph, default_params):
+        results = batch_hkpr(
+            clustered_graph, [0, 1, 5], method="tea+", params=default_params, rng=1
+        )
+        assert set(results) == {0, 1, 5}
+        assert all(r.seed == s for s, r in results.items())
+
+    def test_empty_seed_list_rejected(self, clustered_graph):
+        with pytest.raises(ParameterError):
+            batch_hkpr(clustered_graph, [])
+
+    def test_unknown_method_rejected(self, clustered_graph):
+        with pytest.raises(ParameterError):
+            batch_hkpr(clustered_graph, [0], method="nope")
+
+    def test_deterministic_given_rng(self, clustered_graph, default_params):
+        a = batch_hkpr(clustered_graph, [0, 3], params=default_params, rng=9)
+        b = batch_hkpr(clustered_graph, [0, 3], params=default_params, rng=9)
+        for seed in (0, 3):
+            assert a[seed].estimates.to_dict() == b[seed].estimates.to_dict()
+
+    def test_exact_method_supported(self, small_ring, default_params):
+        results = batch_hkpr(small_ring, [0, 4], method="exact", params=default_params)
+        for result in results.values():
+            assert result.total_mass(small_ring) == pytest.approx(1.0, abs=1e-9)
+
+    def test_aggregate_counters(self, clustered_graph, default_params):
+        results = batch_hkpr(
+            clustered_graph, [0, 1], method="hk-relax", params=default_params
+        )
+        total = aggregate_counters(results)
+        assert total.push_operations == sum(
+            r.counters.push_operations for r in results.values()
+        )
+
+    def test_aggregate_counters_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            aggregate_counters({})
+
+
+class TestSeedSetHKPR:
+    def test_single_seed_matches_plain_query(self, small_ring, default_params):
+        mixture = seed_set_hkpr(
+            small_ring, {3: 1.0}, method="exact", params=default_params
+        )
+        plain = exact_hkpr(small_ring, 3, default_params)
+        assert np.allclose(
+            mixture.to_dense(small_ring), plain.to_dense(small_ring), atol=1e-12
+        )
+
+    def test_mixture_is_weighted_average(self, small_ring, default_params):
+        mixture = seed_set_hkpr(
+            small_ring, {0: 1.0, 5: 3.0}, method="exact", params=default_params
+        )
+        a = exact_hkpr(small_ring, 0, default_params).to_dense(small_ring)
+        b = exact_hkpr(small_ring, 5, default_params).to_dense(small_ring)
+        expected = 0.25 * a + 0.75 * b
+        assert np.allclose(mixture.to_dense(small_ring), expected, atol=1e-12)
+
+    def test_mass_close_to_one_for_randomized_method(self, clustered_graph, default_params):
+        mixture = seed_set_hkpr(
+            clustered_graph, {0: 0.5, 7: 0.5}, method="tea", params=default_params, rng=2
+        )
+        assert mixture.total_mass(clustered_graph) == pytest.approx(1.0, abs=0.1)
+
+    def test_invalid_weights_rejected(self, small_ring):
+        with pytest.raises(ParameterError):
+            seed_set_hkpr(small_ring, {})
+        with pytest.raises(ParameterError):
+            seed_set_hkpr(small_ring, {0: -1.0})
+        with pytest.raises(ParameterError):
+            seed_set_hkpr(small_ring, {0: 0.0})
+        with pytest.raises(ParameterError):
+            seed_set_hkpr(small_ring, {99: 1.0})
+
+    def test_method_label_and_representative_seed(self, small_ring, default_params):
+        mixture = seed_set_hkpr(
+            small_ring, {2: 0.9, 8: 0.1}, method="hk-relax", params=default_params
+        )
+        assert mixture.method == "hk-relax(seed-set)"
+        assert mixture.seed == 2

@@ -1,0 +1,159 @@
+"""Tests for the benchmark harness: datasets, query runners, reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.datasets import (
+    DATASETS,
+    QUICK_DATASETS,
+    dataset_statistics,
+    load_community_dataset,
+    load_dataset,
+)
+from repro.bench.harness import (
+    MethodConfig,
+    aggregate,
+    run_clustering_query,
+    run_query_set,
+    sample_seed_nodes,
+)
+from repro.bench.reporting import format_rows, summarize_records
+from repro.exceptions import DatasetError, ParameterError
+from repro.graph.generators import ring_graph
+from repro.hkpr.params import HKPRParams
+
+
+class TestDatasets:
+    def test_registry_has_eight_paper_surrogates(self):
+        assert len(DATASETS) == 8
+        assert set(QUICK_DATASETS) <= set(DATASETS)
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(DatasetError):
+            load_dataset("not-a-dataset")
+        with pytest.raises(DatasetError):
+            load_community_dataset("not-a-dataset")
+
+    def test_grid_dataset_degree_six(self):
+        graph = load_dataset("grid3d-sim")
+        assert all(graph.degree(v) == 6 for v in graph.nodes())
+
+    def test_dataset_caching_returns_same_object(self):
+        assert load_dataset("dblp-sim") is load_dataset("dblp-sim")
+
+    def test_statistics_fields(self):
+        stats = dataset_statistics("dblp-sim")
+        assert stats["paper_dataset"] == "DBLP"
+        assert stats["n"] > 0
+        assert stats["m"] > 0
+        assert stats["avg_degree"] > 1.0
+
+    def test_high_degree_surrogates_are_denser(self):
+        low = load_dataset("dblp-sim").average_degree
+        high = load_dataset("orkut-sim").average_degree
+        assert high > 2 * low
+
+    def test_community_dataset_has_ground_truth(self):
+        graph, communities = load_community_dataset()
+        assert graph.num_nodes == 25 * 40
+        assert len(communities) == 25
+
+
+class TestHarness:
+    def test_sample_seed_nodes_respects_min_degree(self):
+        graph = ring_graph(20)
+        seeds = sample_seed_nodes(graph, 5, rng=1, min_degree=2)
+        assert len(seeds) == 5
+        assert len(set(seeds)) == 5
+
+    def test_sample_seed_nodes_no_candidates(self):
+        graph = ring_graph(10)
+        with pytest.raises(ParameterError):
+            sample_seed_nodes(graph, 3, min_degree=10)
+
+    def test_run_clustering_query_hkpr_method(self, clustered_graph):
+        config = MethodConfig(method="tea+", label="tea+")
+        record = run_clustering_query(
+            clustered_graph, 0, config, dataset="test", rng=1
+        )
+        assert record.method == "tea+"
+        assert record.elapsed_seconds >= 0.0
+        assert 0.0 <= record.conductance <= 1.0
+        assert record.cluster_size >= 1
+        assert record.memory_entries > 0
+        assert "push_operations" in record.extras
+
+    def test_run_clustering_query_flow_method(self, clustered_graph):
+        config = MethodConfig(
+            method="crd", label="crd", estimator_kwargs={"iterations": 4}
+        )
+        record = run_clustering_query(clustered_graph, 0, config, rng=1)
+        assert record.method == "crd"
+        assert record.cluster_size >= 1
+
+    def test_run_clustering_query_unknown_method(self, clustered_graph):
+        with pytest.raises(ParameterError):
+            run_clustering_query(
+                clustered_graph, 0, MethodConfig(method="nope"), rng=1
+            )
+
+    def test_run_query_set_and_aggregate(self, clustered_graph):
+        configs = [
+            MethodConfig(method="tea+", label="tea+"),
+            MethodConfig(method="hk-relax", label="hk-relax", estimator_kwargs={"eps_a": 1e-3}),
+        ]
+        records = run_query_set(
+            clustered_graph,
+            [0, 1],
+            configs,
+            dataset="test",
+            params=HKPRParams(delta=1e-2),
+            rng=3,
+        )
+        assert len(records) == 4
+        rows = aggregate(records)
+        assert len(rows) == 2
+        assert all(row["queries"] == 2 for row in rows)
+        assert all("avg_conductance" in row for row in rows)
+
+    def test_record_as_dict_roundtrip(self, clustered_graph):
+        config = MethodConfig(method="exact", label="exact")
+        record = run_clustering_query(clustered_graph, 0, config, rng=1)
+        data = record.as_dict()
+        assert data["method"] == "exact"
+        assert data["conductance"] == record.conductance
+
+
+class TestReporting:
+    def test_format_rows_alignment_and_title(self):
+        rows = [
+            {"method": "tea+", "seconds": 0.123456, "count": 3},
+            {"method": "hk-relax", "seconds": 12345.6, "count": 4},
+        ]
+        text = format_rows(rows, title="Example")
+        assert text.splitlines()[0] == "Example"
+        assert "tea+" in text and "hk-relax" in text
+        assert "1.235e+04" in text  # large values use scientific notation
+
+    def test_format_rows_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            format_rows([])
+
+    def test_format_rows_column_subset(self):
+        rows = [{"a": 1, "b": 2}]
+        text = format_rows(rows, columns=["a"])
+        assert "b" not in text
+
+    def test_summarize_records(self):
+        rows = [
+            {"method": "a", "value": 1.0},
+            {"method": "a", "value": 3.0},
+            {"method": "b", "value": 10.0},
+        ]
+        summary = summarize_records(rows, "method", "value")
+        assert summary == {"a": 2.0, "b": 10.0}
+
+    def test_summarize_records_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            summarize_records([], "method", "value")

@@ -1,0 +1,113 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+from repro.graph.generators import ring_graph
+from repro.graph.io import save_edge_list
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_cluster_requires_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cluster", "--seed-node", "0"])
+
+    def test_cluster_rejects_both_sources(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["cluster", "--dataset", "dblp-sim", "--edge-list", "x.txt", "--seed-node", "0"]
+            )
+
+    def test_experiment_names_registered(self):
+        assert set(EXPERIMENTS) == {
+            "table7",
+            "figure2",
+            "figure3",
+            "figure4",
+            "figure5",
+            "figure6",
+            "figure7",
+            "figure8_9",
+            "table8",
+            "ablation",
+        }
+
+
+class TestCommands:
+    def test_datasets_command(self, capsys):
+        assert main(["datasets"]) == 0
+        output = capsys.readouterr().out
+        assert "dblp-sim" in output
+        assert "avg_degree" in output
+
+    def test_cluster_on_edge_list(self, tmp_path, capsys):
+        path = tmp_path / "ring.txt"
+        save_edge_list(ring_graph(30), path)
+        code = main(
+            [
+                "cluster",
+                "--edge-list",
+                str(path),
+                "--seed-node",
+                "0",
+                "--method",
+                "tea+",
+                "--rng",
+                "1",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "cluster size" in output
+        assert "conductance" in output
+
+    def test_cluster_on_builtin_dataset(self, capsys):
+        code = main(
+            [
+                "cluster",
+                "--dataset",
+                "grid3d-sim",
+                "--seed-node",
+                "5",
+                "--method",
+                "hk-relax",
+                "--delta",
+                "0.001",
+            ]
+        )
+        assert code == 0
+        assert "hk-relax" in capsys.readouterr().out
+
+    def test_cluster_invalid_seed_returns_error_code(self, capsys):
+        code = main(
+            ["cluster", "--dataset", "grid3d-sim", "--seed-node", "999999", "--rng", "1"]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_experiment_table7(self, capsys):
+        assert main(["experiment", "table7"]) == 0
+        assert "paper_dataset" in capsys.readouterr().out
+
+    def test_experiment_figure3_small(self, capsys):
+        code = main(
+            [
+                "experiment",
+                "figure3",
+                "--datasets",
+                "grid3d-sim",
+                "--num-seeds",
+                "1",
+                "--rng",
+                "3",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "tea+" in output

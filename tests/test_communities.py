@@ -1,0 +1,66 @@
+"""Tests for ground-truth community containers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.graph.communities import CommunitySet, planted_partition_with_communities
+
+
+class TestCommunitySet:
+    def test_len_and_getitem(self):
+        cs = CommunitySet([[0, 1, 2], [2, 3]])
+        assert len(cs) == 2
+        assert cs[0] == (0, 1, 2)
+
+    def test_membership_lookup(self):
+        cs = CommunitySet([[0, 1, 2], [2, 3]])
+        assert cs.communities_of(2) == [(0, 1, 2), (2, 3)]
+        assert cs.communities_of(0) == [(0, 1, 2)]
+        assert cs.communities_of(99) == []
+
+    def test_duplicate_members_deduplicated(self):
+        cs = CommunitySet([[1, 1, 2]])
+        assert cs[0] == (1, 2)
+
+    def test_empty_community_rejected(self):
+        with pytest.raises(ParameterError):
+            CommunitySet([[]])
+
+    def test_nodes_with_community_min_size(self):
+        cs = CommunitySet([[0, 1], [2, 3, 4, 5]])
+        assert cs.nodes_with_community(min_size=3) == [2, 3, 4, 5]
+        assert cs.nodes_with_community(min_size=1) == [0, 1, 2, 3, 4, 5]
+
+    def test_sample_seeds_within_members(self):
+        cs = CommunitySet([list(range(10)), list(range(20, 26))])
+        seeds = cs.sample_seeds(5, min_community_size=6, seed=3)
+        assert len(seeds) == 5
+        valid = set(range(10)) | set(range(20, 26))
+        assert all(s in valid for s in seeds)
+
+    def test_sample_seeds_respects_min_size(self):
+        cs = CommunitySet([[0, 1], list(range(10, 20))])
+        seeds = cs.sample_seeds(4, min_community_size=5, seed=1)
+        assert all(s >= 10 for s in seeds)
+
+    def test_sample_seeds_no_candidates_raises(self):
+        cs = CommunitySet([[0, 1]])
+        with pytest.raises(ParameterError):
+            cs.sample_seeds(2, min_community_size=10, seed=1)
+
+    def test_sample_seeds_count_clamped(self):
+        cs = CommunitySet([[0, 1, 2]])
+        seeds = cs.sample_seeds(10, min_community_size=2, seed=1)
+        assert len(seeds) == 3
+
+
+class TestPlantedPartitionWithCommunities:
+    def test_returns_graph_and_community_set(self):
+        graph, communities = planted_partition_with_communities(3, 8, 0.5, 0.02, seed=2)
+        assert graph.num_nodes == 24
+        assert isinstance(communities, CommunitySet)
+        assert len(communities) == 3
+        # Every node belongs to exactly one planted community.
+        assert all(len(communities.communities_of(v)) == 1 for v in graph.nodes())

@@ -1,0 +1,77 @@
+"""Tests for conductance and cut measures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clustering.conductance import conductance, cut_size, volume
+from repro.exceptions import EmptyGraphError, ParameterError
+from repro.graph.generators import complete_graph, ring_graph, star_graph
+from repro.graph.graph import Graph
+
+
+class TestVolumeAndCut:
+    def test_volume(self, small_star):
+        assert volume(small_star, [0]) == 8
+        assert volume(small_star, range(9)) == small_star.total_volume
+
+    def test_cut_size(self, small_ring):
+        assert cut_size(small_ring, [0, 1]) == 2
+        assert cut_size(small_ring, range(10)) == 0
+
+
+class TestConductance:
+    def test_ring_arc(self, small_ring):
+        # Any contiguous arc of a ring has cut 2; 3 nodes have volume 6.
+        assert conductance(small_ring, [0, 1, 2]) == pytest.approx(2 / 6)
+
+    def test_empty_and_full_sets_are_one(self, small_ring):
+        assert conductance(small_ring, []) == 1.0
+        assert conductance(small_ring, range(10)) == 1.0
+
+    def test_single_node(self, small_ring):
+        assert conductance(small_ring, [0]) == pytest.approx(1.0)
+
+    def test_uses_smaller_side_volume(self, small_ring):
+        # Complement of a 3-node arc: same cut, larger volume -> same value
+        # because the minimum of the two volumes is used.
+        assert conductance(small_ring, range(3, 10)) == pytest.approx(
+            conductance(small_ring, [0, 1, 2])
+        )
+
+    def test_clique_half(self):
+        graph = complete_graph(6)
+        phi = conductance(graph, [0, 1, 2])
+        # Each of the 3 nodes has 3 edges leaving the set; volume is 15.
+        assert phi == pytest.approx(9 / 15)
+
+    def test_star_leaves(self):
+        graph = star_graph(5)
+        assert conductance(graph, [1, 2]) == pytest.approx(1.0)
+
+    def test_disconnected_set_of_isolated_nodes(self):
+        graph = Graph(4, [(0, 1)])
+        assert conductance(graph, [2, 3]) == 1.0
+
+    def test_two_cliques_bridge(self):
+        """Two K_4's joined by one edge: either clique is a great cluster."""
+        edges = [(u, v) for u in range(4) for v in range(u + 1, 4)]
+        edges += [(u, v) for u in range(4, 8) for v in range(u + 1, 8)]
+        edges.append((0, 4))
+        graph = Graph(8, edges)
+        phi = conductance(graph, [0, 1, 2, 3])
+        assert phi == pytest.approx(1 / 13)
+
+    def test_empty_graph_raises(self):
+        with pytest.raises(EmptyGraphError):
+            conductance(Graph(0, []), [])
+
+    def test_unknown_node_raises(self, small_ring):
+        with pytest.raises(ParameterError):
+            conductance(small_ring, [99])
+
+    def test_in_unit_interval_random_sets(self, medium_powerlaw, rng):
+        for _ in range(10):
+            size = int(rng.integers(1, 50))
+            nodes = rng.choice(medium_powerlaw.num_nodes, size=size, replace=False)
+            assert 0.0 <= conductance(medium_powerlaw, nodes) <= 1.0

@@ -1,0 +1,98 @@
+"""Tests for the exact (power-method) HKPR ground truth."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.graph.generators import complete_graph, ring_graph, star_graph
+from repro.graph.graph import Graph
+from repro.hkpr.exact import exact_hkpr, exact_hkpr_dense
+from repro.hkpr.params import HKPRParams
+from repro.hkpr.poisson import PoissonWeights
+
+
+class TestExactHKPR:
+    def test_mass_sums_to_one_on_connected_graph(self, medium_powerlaw, default_params):
+        result = exact_hkpr(medium_powerlaw, 0, default_params)
+        assert result.total_mass(medium_powerlaw) == pytest.approx(1.0, abs=1e-9)
+
+    def test_all_entries_non_negative(self, small_ring, default_params):
+        dense = exact_hkpr(small_ring, 0, default_params).to_dense(small_ring)
+        assert np.all(dense >= 0.0)
+
+    def test_invalid_seed_rejected(self, small_ring, default_params):
+        with pytest.raises(ParameterError):
+            exact_hkpr(small_ring, 99, default_params)
+
+    def test_two_node_graph_closed_form(self):
+        """On a single edge, rho_s[s] = sum_{k even} eta(k) = e^{-t} cosh(t)."""
+        graph = Graph(2, [(0, 1)])
+        t = 3.0
+        dense = exact_hkpr_dense(graph, 0, t)
+        expected_self = math.exp(-t) * math.cosh(t)
+        expected_other = math.exp(-t) * math.sinh(t)
+        assert dense[0] == pytest.approx(expected_self, abs=1e-9)
+        assert dense[1] == pytest.approx(expected_other, abs=1e-9)
+
+    def test_complete_graph_symmetry(self, default_params):
+        """On K_n every non-seed node has the same HKPR value."""
+        graph = complete_graph(6)
+        dense = exact_hkpr(graph, 0, default_params).to_dense(graph)
+        others = dense[1:]
+        assert np.allclose(others, others[0], atol=1e-12)
+        assert dense[0] > 0
+
+    def test_star_hub_vs_leaf(self, default_params):
+        """From the hub of a star, every leaf gets the same mass."""
+        graph = star_graph(6)
+        dense = exact_hkpr(graph, 0, default_params).to_dense(graph)
+        leaves = dense[1:]
+        assert np.allclose(leaves, leaves[0], atol=1e-12)
+
+    def test_isolated_seed_keeps_all_mass(self, default_params):
+        graph = Graph(3, [(1, 2)])
+        dense = exact_hkpr(graph, 0, default_params).to_dense(graph)
+        assert dense[0] == pytest.approx(1.0)
+        assert dense[1] == 0.0
+
+    def test_matches_brute_force_taylor(self, default_params):
+        """Cross-check against a direct dense matrix-power summation."""
+        graph = ring_graph(8)
+        t = default_params.t
+        weights = PoissonWeights(t)
+        transition = graph.transition_matrix().toarray()
+        expected = np.zeros(8)
+        current = np.zeros(8)
+        current[0] = 1.0
+        for k in range(weights.max_hop + 1):
+            expected += weights.eta(k) * current
+            current = current @ transition
+        dense = exact_hkpr(graph, 0, default_params).to_dense(graph)
+        assert np.allclose(dense, expected, atol=1e-10)
+
+    def test_max_iterations_truncation(self, small_ring):
+        params = HKPRParams(t=5.0, delta=1e-3)
+        truncated = exact_hkpr(small_ring, 0, params, max_iterations=1)
+        full = exact_hkpr(small_ring, 0, params)
+        assert truncated.total_mass(small_ring) < full.total_mass(small_ring)
+
+    def test_heat_constant_controls_spread(self, small_ring):
+        """Larger t pushes mass further from the seed."""
+        near = exact_hkpr_dense(small_ring, 0, 1.0)
+        far = exact_hkpr_dense(small_ring, 0, 20.0)
+        assert near[0] > far[0]
+        opposite = 5  # node diametrically opposite on the 10-ring
+        assert far[opposite] > near[opposite]
+
+    def test_symmetry_relation_lemma6(self, default_params):
+        """d(u) * rho_u[v]... the heat kernel satisfies rho_u[v]/d(v) = rho_v[u]/d(u)."""
+        graph = star_graph(5)
+        rho_hub = exact_hkpr(graph, 0, default_params).to_dense(graph)
+        rho_leaf = exact_hkpr(graph, 1, default_params).to_dense(graph)
+        assert rho_hub[1] / graph.degree(1) == pytest.approx(
+            rho_leaf[0] / graph.degree(0), rel=1e-9
+        )

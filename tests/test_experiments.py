@@ -1,0 +1,131 @@
+"""Tests for the per-figure experiment drivers (run at miniature scale)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import experiments
+from repro.bench.reporting import format_rows, summarize_records
+
+# The smallest surrogate keeps these driver tests quick.
+TINY = ("grid3d-sim",)
+TINY_WALKS = 500
+
+
+class TestTable7:
+    def test_all_datasets_reported(self):
+        rows = experiments.table7_statistics()
+        assert len(rows) == 8
+        assert {row["paper_dataset"] for row in rows} == {
+            "DBLP",
+            "Youtube",
+            "PLC",
+            "Orkut",
+            "LiveJournal",
+            "3D-grid",
+            "Twitter",
+            "Friendster",
+        }
+        assert format_rows(rows)  # renders without error
+
+
+class TestFigure2:
+    def test_rows_cover_all_c_values(self):
+        rows = experiments.figure2_tuning_c(
+            TINY, c_values=(1.0, 2.5), num_seeds=1, walk_cap=TINY_WALKS, rng=1
+        )
+        assert {row["c"] for row in rows} == {1.0, 2.5}
+        assert all(row["avg_seconds"] >= 0 for row in rows)
+        assert all(row["avg_total_work"] >= 0 for row in rows)
+
+
+class TestFigure3:
+    def test_tea_plus_not_slower_in_work(self):
+        rows = experiments.figure3_tea_vs_teaplus(
+            TINY, eps_r_values=(0.5,), num_seeds=1, walk_cap=TINY_WALKS, rng=1
+        )
+        by_label = summarize_records(rows, "label", "avg_total_work")
+        assert by_label["tea+"] <= by_label["tea"] * 1.5
+
+
+class TestFigure4And5:
+    def test_figure4_rows_have_conductance_and_time(self):
+        rows = experiments.figure4_time_quality(
+            TINY, num_seeds=1, walk_cap=TINY_WALKS, include_flow_methods=False, rng=1
+        )
+        methods = {row["method"] for row in rows}
+        assert {"monte-carlo", "tea", "tea+", "hk-relax", "cluster-hkpr"} <= methods
+        assert all(0.0 <= row["avg_conductance"] <= 1.0 for row in rows)
+
+    def test_figure5_memory_dominated_by_graph(self):
+        rows = experiments.figure5_memory(
+            TINY, num_seeds=1, walk_cap=TINY_WALKS, rng=1
+        )
+        for row in rows:
+            assert row["avg_memory_entries"] >= row["graph_entries"]
+
+
+class TestFigure6:
+    def test_ndcg_rows_in_unit_interval(self):
+        rows = experiments.figure6_ndcg(
+            TINY, num_seeds=1, walk_cap=TINY_WALKS, rng=1
+        )
+        assert all(0.0 <= row["avg_ndcg"] <= 1.0 for row in rows)
+        # Push-based methods should be highly accurate even at tiny scale.
+        hk_relax_rows = [r for r in rows if r["method"] == "hk-relax"]
+        assert max(r["avg_ndcg"] for r in hk_relax_rows) > 0.9
+
+
+class TestTable8:
+    def test_each_method_reports_best_f1(self):
+        rows = experiments.table8_ground_truth(
+            num_seeds=2, walk_cap=TINY_WALKS, t_values=(5.0,), rng=1
+        )
+        methods = {row["method"] for row in rows}
+        assert {"monte-carlo", "tea", "tea+", "hk-relax", "cluster-hkpr"} == methods
+        assert all(0.0 <= row["avg_f1"] <= 1.0 for row in rows)
+        assert all(row["avg_seconds"] >= 0.0 for row in rows)
+
+
+class TestFigure7:
+    def test_strata_present(self):
+        rows = experiments.figure7_density(
+            ("grid3d-sim",), seeds_per_stratum=1, walk_cap=TINY_WALKS, rng=1
+        )
+        strata = {row["stratum"] for row in rows}
+        assert strata <= {"high-density", "medium-density", "low-density"}
+        assert len(strata) >= 2
+
+
+class TestFigure8And9:
+    def test_work_grows_with_t(self):
+        rows = experiments.figure8_9_heat(
+            TINY, t_values=(5.0, 20.0), num_seeds=1, walk_cap=TINY_WALKS, rng=1
+        )
+        tea_plus_rows = [r for r in rows if r["label"] == "tea+"]
+        by_t = {r["t"]: r["avg_total_work"] for r in tea_plus_rows}
+        assert by_t[20.0] >= by_t[5.0] * 0.8  # loose monotonicity at tiny scale
+
+
+class TestAblation:
+    def test_variants_reported(self):
+        rows = experiments.ablation_tea_plus(
+            TINY, num_seeds=1, walk_cap=TINY_WALKS, rng=1
+        )
+        variants = {row["variant"] for row in rows}
+        assert variants == {
+            "tea+(full)",
+            "tea+(no residue reduction)",
+            "tea+(no offset)",
+        }
+        assert all(0.0 <= row["avg_ndcg"] <= 1.0 for row in rows)
+
+
+class TestSpeedupSummary:
+    def test_speedup_helper(self):
+        rows = [
+            {"method": "tea+", "avg_seconds": 1.0},
+            {"method": "monte-carlo", "avg_seconds": 4.0},
+        ]
+        assert experiments.speedup_summary(rows, "tea+", "monte-carlo") == pytest.approx(4.0)
+        assert experiments.speedup_summary([], "tea+", "monte-carlo") != experiments.speedup_summary(rows, "tea+", "monte-carlo")

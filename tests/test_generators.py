@@ -1,0 +1,171 @@
+"""Tests for the synthetic graph generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.graph import generators
+
+
+class TestDeterministicFamilies:
+    def test_ring(self):
+        g = generators.ring_graph(7)
+        assert g.num_nodes == 7
+        assert g.num_edges == 7
+        assert all(g.degree(v) == 2 for v in g.nodes())
+
+    def test_ring_too_small(self):
+        with pytest.raises(ParameterError):
+            generators.ring_graph(2)
+
+    def test_star(self):
+        g = generators.star_graph(6)
+        assert g.degree(0) == 5
+        assert all(g.degree(v) == 1 for v in range(1, 6))
+
+    def test_path(self):
+        g = generators.path_graph(5)
+        assert g.num_edges == 4
+        assert g.degree(0) == 1
+        assert g.degree(2) == 2
+
+    def test_complete(self):
+        g = generators.complete_graph(5)
+        assert g.num_edges == 10
+        assert all(g.degree(v) == 4 for v in g.nodes())
+
+    def test_grid_3d_periodic_degree_six(self):
+        g = generators.grid_3d_graph(3, 4, 5, periodic=True)
+        assert g.num_nodes == 60
+        assert all(g.degree(v) == 6 for v in g.nodes())
+
+    def test_grid_3d_nonperiodic_has_boundary(self):
+        g = generators.grid_3d_graph(3, 3, 3, periodic=False)
+        degrees = {g.degree(v) for v in g.nodes()}
+        assert min(degrees) == 3
+        assert max(degrees) == 6
+
+    def test_grid_3d_too_small_dimension(self):
+        with pytest.raises(ParameterError):
+            generators.grid_3d_graph(2, 3, 3, periodic=True)
+
+
+class TestRandomFamilies:
+    def test_erdos_renyi_deterministic_for_seed(self):
+        g1 = generators.erdos_renyi_graph(50, 0.1, seed=5)
+        g2 = generators.erdos_renyi_graph(50, 0.1, seed=5)
+        assert g1 == g2
+
+    def test_erdos_renyi_probability_bounds(self):
+        with pytest.raises(ParameterError):
+            generators.erdos_renyi_graph(10, 1.5)
+
+    def test_erdos_renyi_extreme_probabilities(self):
+        empty = generators.erdos_renyi_graph(10, 0.0, seed=1)
+        full = generators.erdos_renyi_graph(10, 1.0, seed=1)
+        assert empty.num_edges == 0
+        assert full.num_edges == 45
+
+    def test_erdos_renyi_connected_flag(self):
+        g = generators.erdos_renyi_graph(80, 0.08, seed=3, connected=True)
+        assert g.is_connected()
+
+    def test_barabasi_albert_connected_powerlaw(self):
+        g = generators.barabasi_albert_graph(200, 3, seed=11)
+        assert g.is_connected()
+        assert g.average_degree > 4.0
+        # Hubs exist: maximum degree well above the attachment parameter.
+        assert max(g.degree(v) for v in g.nodes()) > 10
+
+    def test_barabasi_albert_invalid_m(self):
+        with pytest.raises(ParameterError):
+            generators.barabasi_albert_graph(10, 0)
+        with pytest.raises(ParameterError):
+            generators.barabasi_albert_graph(10, 10)
+
+    def test_powerlaw_cluster_graph_properties(self):
+        g = generators.powerlaw_cluster_graph(300, 4, 0.5, seed=2)
+        assert g.is_connected()
+        assert 3.0 < g.average_degree < 9.0
+
+    def test_powerlaw_cluster_invalid_triangle_probability(self):
+        with pytest.raises(ParameterError):
+            generators.powerlaw_cluster_graph(10, 2, 1.5)
+
+    def test_powerlaw_cluster_deterministic(self):
+        g1 = generators.powerlaw_cluster_graph(100, 3, 0.4, seed=8)
+        g2 = generators.powerlaw_cluster_graph(100, 3, 0.4, seed=8)
+        assert g1 == g2
+
+    def test_chung_lu_matches_expected_volume(self):
+        degrees = [5] * 200
+        g = generators.chung_lu_graph(degrees, seed=13, connected=False)
+        # Expected total volume is sum(degrees); allow generous sampling slack.
+        assert 0.5 * sum(degrees) < g.total_volume <= 1.2 * sum(degrees)
+
+    def test_chung_lu_rejects_negative_weights(self):
+        with pytest.raises(ParameterError):
+            generators.chung_lu_graph([3, -1, 2])
+
+    def test_chung_lu_rejects_zero_sum(self):
+        with pytest.raises(ParameterError):
+            generators.chung_lu_graph([0, 0, 0])
+
+    def test_power_law_degree_sequence_range(self):
+        seq = generators.power_law_degree_sequence(500, 2.5, 2, 50, seed=4)
+        assert len(seq) == 500
+        assert seq.min() >= 2
+        assert seq.max() <= 50
+        # Heavy tail: the mean should sit well below the maximum.
+        assert seq.mean() < 15
+
+    def test_power_law_degree_sequence_invalid(self):
+        with pytest.raises(ParameterError):
+            generators.power_law_degree_sequence(10, 0.5, 1, 5)
+        with pytest.raises(ParameterError):
+            generators.power_law_degree_sequence(10, 2.0, 5, 2)
+
+
+class TestPlantedPartition:
+    def test_shapes_and_ground_truth(self):
+        graph, communities = generators.planted_partition_graph(3, 10, 0.5, 0.02, seed=6)
+        assert graph.num_nodes == 30
+        assert len(communities) == 3
+        assert all(len(block) == 10 for block in communities)
+
+    def test_intra_density_exceeds_inter_density(self):
+        graph, communities = generators.planted_partition_graph(2, 30, 0.5, 0.02, seed=9)
+        block = set(communities[0])
+        internal = sum(
+            1 for u, v in graph.edges() if (u in block) == (v in block)
+        )
+        external = graph.num_edges - internal
+        assert internal > external
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(ParameterError):
+            generators.planted_partition_graph(2, 10, 0.1, 0.5)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ParameterError):
+            generators.planted_partition_graph(0, 10, 0.5, 0.1)
+
+    def test_deterministic(self):
+        g1, _ = generators.planted_partition_graph(2, 15, 0.4, 0.05, seed=3)
+        g2, _ = generators.planted_partition_graph(2, 15, 0.4, 0.05, seed=3)
+        assert g1 == g2
+
+
+class TestLargestComponentHelper:
+    def test_largest_component_returned(self):
+        # Two cliques of different sizes, disconnected.
+        edges = [(u, v) for u in range(5) for v in range(u + 1, 5)]
+        edges += [(u, v) for u in range(5, 8) for v in range(u + 1, 8)]
+        from repro.graph.graph import Graph
+
+        g = Graph(8, edges)
+        largest = generators._largest_component(g)
+        assert largest.num_nodes == 5
+        assert largest.is_connected()

@@ -1,0 +1,73 @@
+"""Tests for edge-list IO and NetworkX interoperability."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.graph import Graph
+from repro.graph.io import from_networkx, load_edge_list, save_edge_list, to_networkx
+
+
+class TestEdgeListRoundTrip:
+    def test_save_and_load(self, tmp_path, small_ring):
+        path = tmp_path / "ring.txt"
+        save_edge_list(small_ring, path)
+        loaded, labels = load_edge_list(path)
+        assert loaded.num_nodes == small_ring.num_nodes
+        assert loaded.num_edges == small_ring.num_edges
+        assert set(labels) == set(range(10))
+
+    def test_load_with_comments_and_blank_lines(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("# a comment\n\n10 20\n20 30\n30 10\n")
+        graph, labels = load_edge_list(path)
+        assert graph.num_nodes == 3
+        assert graph.num_edges == 3
+        assert set(labels.keys()) == {10, 20, 30}
+
+    def test_load_drops_duplicates_and_self_loops(self, tmp_path):
+        path = tmp_path / "dups.txt"
+        path.write_text("1 2\n2 1\n1 1\n2 3\n")
+        graph, _ = load_edge_list(path)
+        assert graph.num_edges == 2
+
+    def test_load_rejects_malformed_line(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("1\n")
+        with pytest.raises(GraphError):
+            load_edge_list(path)
+
+    def test_load_rejects_non_integer(self, tmp_path):
+        path = tmp_path / "bad2.txt"
+        path.write_text("a b\n")
+        with pytest.raises(GraphError):
+            load_edge_list(path)
+
+
+class TestNetworkXConversion:
+    def test_round_trip(self, small_complete):
+        nx_graph = to_networkx(small_complete)
+        back, mapping = from_networkx(nx_graph)
+        assert back.num_nodes == small_complete.num_nodes
+        assert back.num_edges == small_complete.num_edges
+        assert len(mapping) == small_complete.num_nodes
+
+    def test_from_networkx_arbitrary_labels(self):
+        nx_graph = nx.Graph()
+        nx_graph.add_edges_from([("a", "b"), ("b", "c")])
+        graph, mapping = from_networkx(nx_graph)
+        assert graph.num_nodes == 3
+        assert graph.num_edges == 2
+        assert set(mapping.keys()) == {"a", "b", "c"}
+
+    def test_from_networkx_rejects_directed(self):
+        with pytest.raises(GraphError):
+            from_networkx(nx.DiGraph([(0, 1)]))
+
+    def test_to_networkx_preserves_isolated_nodes(self):
+        g = Graph(4, [(0, 1)])
+        nx_graph = to_networkx(g)
+        assert nx_graph.number_of_nodes() == 4
+        assert nx_graph.number_of_edges() == 1

@@ -1,0 +1,115 @@
+"""Tests for whole-graph structural metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import EmptyGraphError
+from repro.graph.generators import (
+    complete_graph,
+    path_graph,
+    powerlaw_cluster_graph,
+    ring_graph,
+    star_graph,
+)
+from repro.graph.graph import Graph
+from repro.graph.metrics import (
+    average_clustering_coefficient,
+    degree_assortativity,
+    degree_histogram,
+    local_clustering_coefficient,
+    summarize_graph,
+    triangle_count,
+)
+
+
+class TestLocalClusteringCoefficient:
+    def test_complete_graph_is_one(self):
+        graph = complete_graph(5)
+        assert all(
+            local_clustering_coefficient(graph, v) == pytest.approx(1.0)
+            for v in graph.nodes()
+        )
+
+    def test_star_hub_is_zero(self):
+        graph = star_graph(6)
+        assert local_clustering_coefficient(graph, 0) == 0.0
+
+    def test_degree_one_node_is_zero(self):
+        graph = path_graph(4)
+        assert local_clustering_coefficient(graph, 0) == 0.0
+
+    def test_triangle_with_pendant(self):
+        graph = Graph(4, [(0, 1), (1, 2), (2, 0), (0, 3)])
+        # Node 0 has neighbors {1, 2, 3}; only the (1, 2) pair is connected.
+        assert local_clustering_coefficient(graph, 0) == pytest.approx(1 / 3)
+
+
+class TestAverageClusteringCoefficient:
+    def test_ring_is_zero(self):
+        assert average_clustering_coefficient(ring_graph(10)) == 0.0
+
+    def test_complete_is_one(self):
+        assert average_clustering_coefficient(complete_graph(6)) == pytest.approx(1.0)
+
+    def test_empty_graph_raises(self):
+        with pytest.raises(EmptyGraphError):
+            average_clustering_coefficient(Graph(0, []))
+
+    def test_sampled_estimate_close_to_exact(self):
+        graph = powerlaw_cluster_graph(400, 4, 0.5, seed=2)
+        exact = average_clustering_coefficient(graph)
+        sampled = average_clustering_coefficient(graph, sample_size=200, seed=1)
+        assert abs(exact - sampled) < 0.1
+
+    def test_holme_kim_more_clustered_than_random(self):
+        clustered = powerlaw_cluster_graph(300, 4, 0.8, seed=3)
+        unclustered = ring_graph(300)
+        assert average_clustering_coefficient(
+            clustered, sample_size=150, seed=0
+        ) > average_clustering_coefficient(unclustered)
+
+
+class TestTriangleCountAndHistogram:
+    def test_triangle_count_complete(self):
+        assert triangle_count(complete_graph(5)) == 10
+
+    def test_triangle_count_ring(self):
+        assert triangle_count(ring_graph(8)) == 0
+
+    def test_triangle_count_single_triangle(self):
+        graph = Graph(4, [(0, 1), (1, 2), (2, 0), (0, 3)])
+        assert triangle_count(graph) == 1
+
+    def test_degree_histogram(self):
+        graph = star_graph(5)
+        assert degree_histogram(graph) == {1: 4, 4: 1}
+
+    def test_degree_histogram_empty(self):
+        assert degree_histogram(Graph(0, [])) == {}
+
+
+class TestAssortativityAndSummary:
+    def test_regular_graph_assortativity_zero(self):
+        assert degree_assortativity(ring_graph(12)) == 0.0
+
+    def test_star_is_disassortative(self):
+        assert degree_assortativity(star_graph(10)) < 0.0
+
+    def test_edgeless_graph_raises(self):
+        with pytest.raises(EmptyGraphError):
+            degree_assortativity(Graph(3, []))
+
+    def test_summary_fields(self):
+        graph = powerlaw_cluster_graph(200, 3, 0.4, seed=4)
+        summary = summarize_graph(graph, clustering_sample=100, seed=0)
+        data = summary.as_dict()
+        assert data["n"] == graph.num_nodes
+        assert data["m"] == graph.num_edges
+        assert data["max_degree"] >= data["avg_degree"]
+        assert 0.0 <= data["clustering_coefficient"] <= 1.0
+        assert -1.0 <= data["assortativity"] <= 1.0
+
+    def test_summary_empty_graph_raises(self):
+        with pytest.raises(EmptyGraphError):
+            summarize_graph(Graph(0, []))

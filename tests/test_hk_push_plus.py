@@ -1,0 +1,102 @@
+"""Tests for HK-Push+ (Algorithm 4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.graph.generators import ring_graph, star_graph
+from repro.hkpr.exact import exact_hkpr_dense
+from repro.hkpr.hk_push_plus import hk_push_plus
+from repro.hkpr.poisson import PoissonWeights
+
+
+class TestValidation:
+    def test_invalid_seed(self, poisson_weights, small_ring):
+        with pytest.raises(ParameterError):
+            hk_push_plus(small_ring, 99, 0.5, 1e-3, 5, 100, poisson_weights)
+
+    @pytest.mark.parametrize(
+        "eps_r,delta,max_hop,budget",
+        [
+            (0.0, 1e-3, 5, 100),
+            (0.5, 0.0, 5, 100),
+            (0.5, 1e-3, 0, 100),
+            (0.5, 1e-3, 5, 0),
+        ],
+    )
+    def test_invalid_parameters(self, poisson_weights, small_ring, eps_r, delta, max_hop, budget):
+        with pytest.raises(ParameterError):
+            hk_push_plus(small_ring, 0, eps_r, delta, max_hop, budget, poisson_weights)
+
+
+class TestBehaviour:
+    def test_mass_conservation(self, poisson_weights, small_ring):
+        outcome = hk_push_plus(small_ring, 0, 0.5, 1e-3, 8, 10_000, poisson_weights)
+        total = outcome.reserve.sum() + outcome.residues.total()
+        assert total == pytest.approx(1.0, abs=1e-9)
+
+    def test_hop_cap_respected(self, poisson_weights, medium_powerlaw):
+        max_hop = 3
+        outcome = hk_push_plus(
+            medium_powerlaw, 0, 0.5, 1e-4, max_hop, 1_000_000, poisson_weights
+        )
+        assert outcome.residues.max_nonzero_hop() <= max_hop
+
+    def test_budget_exhaustion_flag(self, poisson_weights, medium_powerlaw):
+        outcome = hk_push_plus(
+            medium_powerlaw, 0, 0.5, 1e-6, 10, 50, poisson_weights
+        )
+        assert outcome.budget_exhausted
+        assert outcome.pushes_used >= 50
+
+    def test_early_exit_when_target_met(self, poisson_weights, small_ring):
+        # Generous delta and a hop cap beyond the Poisson horizon: the push
+        # phase alone satisfies Theorem 2.
+        outcome = hk_push_plus(small_ring, 0, 0.9, 0.05, 30, 1_000_000, poisson_weights)
+        assert outcome.satisfied_early_exit
+        assert outcome.residues.max_normalized_sum(small_ring) <= 0.9 * 0.05 + 1e-12
+
+    def test_theorem2_absolute_error_bound(self, poisson_weights, small_ring):
+        """When the early-exit condition holds, every degree-normalized error
+        is at most eps_r * delta (Theorem 2)."""
+        eps_r, delta = 0.5, 0.01
+        outcome = hk_push_plus(
+            small_ring, 0, eps_r, delta, 10, 1_000_000, poisson_weights
+        )
+        assert outcome.satisfied_early_exit
+        exact = exact_hkpr_dense(small_ring, 0, poisson_weights.t)
+        reserve = outcome.reserve.to_dense(small_ring.num_nodes)
+        degrees = small_ring.degrees.astype(float)
+        normalized_error = np.abs(reserve - exact) / degrees
+        assert np.max(normalized_error) <= eps_r * delta + 1e-9
+
+    def test_reserve_is_lower_bound(self, poisson_weights, medium_powerlaw):
+        outcome = hk_push_plus(
+            medium_powerlaw, 0, 0.5, 1e-3, 8, 500_000, poisson_weights
+        )
+        exact = exact_hkpr_dense(medium_powerlaw, 0, poisson_weights.t)
+        reserve = outcome.reserve.to_dense(medium_powerlaw.num_nodes)
+        assert np.all(reserve <= exact + 1e-9)
+
+    def test_tighter_delta_means_more_pushes(self, poisson_weights, medium_powerlaw):
+        loose = hk_push_plus(medium_powerlaw, 0, 0.5, 1e-2, 8, 10**6, poisson_weights)
+        tight = hk_push_plus(medium_powerlaw, 0, 0.5, 1e-4, 8, 10**6, poisson_weights)
+        assert tight.counters.push_operations >= loose.counters.push_operations
+
+    def test_star_hub_seed(self, poisson_weights):
+        graph = star_graph(10)
+        outcome = hk_push_plus(graph, 0, 0.5, 1e-3, 6, 10_000, poisson_weights)
+        # The hub keeps a large reserve and the leaves share the rest equally.
+        leaf_reserves = {outcome.reserve[v] for v in range(1, 10)}
+        assert len(leaf_reserves) == 1
+        assert outcome.reserve[0] > outcome.reserve[1]
+
+    def test_isolated_seed(self, poisson_weights):
+        from repro.graph.graph import Graph
+
+        graph = Graph(3, [(1, 2)])
+        outcome = hk_push_plus(graph, 0, 0.5, 1e-3, 4, 1000, poisson_weights)
+        # All mass stays at the isolated seed (either as residue or reserve).
+        assert outcome.reserve[0] + outcome.residues.get(0, 0) == pytest.approx(1.0)

@@ -1,0 +1,82 @@
+"""Tests for the HK-Relax baseline (Kloster & Gleich)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.graph.generators import complete_graph, ring_graph, star_graph
+from repro.hkpr.exact import exact_hkpr_dense
+from repro.hkpr.hk_relax import hk_relax, taylor_degree
+from repro.hkpr.params import HKPRParams
+
+
+class TestTaylorDegree:
+    def test_tail_below_target(self):
+        t, eps = 5.0, 1e-4
+        n = taylor_degree(t, eps)
+        tail = 1.0 - sum(math.exp(-t) * t**k / math.factorial(k) for k in range(n + 1))
+        assert tail <= eps / 2 + 1e-12
+
+    def test_grows_with_t_and_accuracy(self):
+        assert taylor_degree(10.0, 1e-4) > taylor_degree(5.0, 1e-4)
+        assert taylor_degree(5.0, 1e-8) > taylor_degree(5.0, 1e-3)
+
+    def test_invalid_eps(self):
+        with pytest.raises(ParameterError):
+            taylor_degree(5.0, 0.0)
+
+
+class TestHKRelax:
+    def test_invalid_seed(self, small_ring, default_params):
+        with pytest.raises(ParameterError):
+            hk_relax(small_ring, 99, default_params)
+
+    def test_invalid_eps_a(self, small_ring, default_params):
+        with pytest.raises(ParameterError):
+            hk_relax(small_ring, 0, default_params, eps_a=0.0)
+
+    def test_degree_normalized_error_within_eps_a(self, default_params):
+        """The headline guarantee: |rho_hat/d - rho/d| <= eps_a everywhere."""
+        eps_a = 1e-3
+        for graph in (ring_graph(12), star_graph(9), complete_graph(7)):
+            estimate = hk_relax(graph, 0, default_params, eps_a=eps_a)
+            exact = exact_hkpr_dense(graph, 0, default_params.t)
+            degrees = graph.degrees.astype(float)
+            error = np.abs(estimate.to_dense(graph) - exact) / degrees
+            assert np.max(error) <= eps_a + 1e-9
+
+    def test_estimates_lower_bound_exact(self, medium_powerlaw, default_params):
+        estimate = hk_relax(medium_powerlaw, 0, default_params, eps_a=1e-4)
+        exact = exact_hkpr_dense(medium_powerlaw, 0, default_params.t)
+        assert np.all(estimate.to_dense(medium_powerlaw) <= exact + 1e-9)
+
+    def test_total_mass_at_most_one(self, medium_powerlaw, default_params):
+        estimate = hk_relax(medium_powerlaw, 0, default_params, eps_a=1e-4)
+        assert estimate.total_mass(medium_powerlaw) <= 1.0 + 1e-9
+
+    def test_deterministic(self, small_ring, default_params):
+        a = hk_relax(small_ring, 0, default_params, eps_a=1e-4)
+        b = hk_relax(small_ring, 0, default_params, eps_a=1e-4)
+        assert a.estimates.to_dict() == b.estimates.to_dict()
+
+    def test_smaller_eps_a_means_more_pushes(self, medium_powerlaw, default_params):
+        coarse = hk_relax(medium_powerlaw, 0, default_params, eps_a=1e-2)
+        fine = hk_relax(medium_powerlaw, 0, default_params, eps_a=1e-5)
+        assert fine.counters.push_operations > coarse.counters.push_operations
+
+    def test_default_eps_a_is_eps_r_delta(self, small_ring):
+        params = HKPRParams(eps_r=0.5, delta=1e-2)
+        default_run = hk_relax(small_ring, 0, params)
+        explicit_run = hk_relax(small_ring, 0, params, eps_a=0.5 * 1e-2)
+        assert default_run.estimates.to_dict() == explicit_run.estimates.to_dict()
+
+    def test_max_pushes_cap(self, medium_powerlaw, default_params):
+        capped = hk_relax(medium_powerlaw, 0, default_params, eps_a=1e-6, max_pushes=100)
+        assert capped.counters.push_operations <= 100 + medium_powerlaw.num_nodes
+
+    def test_method_name(self, small_ring, default_params):
+        assert hk_relax(small_ring, 0, default_params).method == "hk-relax"

@@ -1,0 +1,107 @@
+"""Integration tests: every estimator against exact HKPR on shared graphs.
+
+These are the end-to-end accuracy checks that tie the package together: the
+estimators are run with realistic parameters on a moderately sized graph and
+compared against the power-method ground truth, using the error notions of
+Definition 1 (degree-normalized relative / absolute error).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import powerlaw_cluster_graph
+from repro.hkpr.cluster_hkpr import cluster_hkpr
+from repro.hkpr.exact import exact_hkpr
+from repro.hkpr.hk_relax import hk_relax
+from repro.hkpr.monte_carlo import monte_carlo_hkpr
+from repro.hkpr.params import HKPRParams
+from repro.hkpr.tea import tea
+from repro.hkpr.tea_plus import tea_plus
+from repro.ranking.metrics import relative_error_profile
+from repro.ranking.ndcg import ndcg_of_estimate
+
+
+@pytest.fixture(scope="module")
+def setting():
+    """A 400-node clustered power-law graph with exact ground truth."""
+    graph = powerlaw_cluster_graph(400, 4, 0.4, seed=3)
+    params = HKPRParams(t=5.0, eps_r=0.5, delta=1e-3, p_f=1e-3)
+    seeds = [0, 17, 101]
+    truth = {
+        s: exact_hkpr(graph, s, params).to_dense(graph) for s in seeds
+    }
+    return graph, params, seeds, truth
+
+
+def normalized_errors(graph, estimate, truth):
+    degrees = graph.degrees.astype(float)
+    est = estimate.to_dense(graph, include_offset=True)
+    return np.abs(est - truth) / degrees
+
+
+class TestDefinitionOneGuarantees:
+    def test_tea_meets_guarantee(self, setting):
+        graph, params, seeds, truth = setting
+        for s in seeds:
+            result = tea(graph, s, params, rng=100 + s)
+            profile = relative_error_profile(graph, result, truth[s], delta=params.delta)
+            assert profile["max_relative_error_significant"] <= params.eps_r + 0.05
+            assert (
+                profile["max_absolute_error_insignificant"]
+                <= params.eps_r * params.delta + 1e-6
+            )
+
+    def test_tea_plus_meets_guarantee(self, setting):
+        graph, params, seeds, truth = setting
+        for s in seeds:
+            result = tea_plus(graph, s, params, rng=200 + s)
+            profile = relative_error_profile(graph, result, truth[s], delta=params.delta)
+            assert profile["max_relative_error_significant"] <= params.eps_r + 0.05
+            assert (
+                profile["max_absolute_error_insignificant"]
+                <= params.eps_r * params.delta + 1e-6
+            )
+
+    def test_hk_relax_absolute_error(self, setting):
+        graph, params, seeds, truth = setting
+        eps_a = params.eps_r * params.delta
+        for s in seeds:
+            result = hk_relax(graph, s, params, eps_a=eps_a)
+            errors = normalized_errors(graph, result, truth[s])
+            assert np.max(errors) <= eps_a + 1e-9
+
+
+class TestRankingAgreement:
+    @pytest.mark.parametrize("method_name", ["tea", "tea+", "hk-relax"])
+    def test_high_ndcg_for_accurate_methods(self, setting, method_name):
+        graph, params, seeds, truth = setting
+        runners = {
+            "tea": lambda s: tea(graph, s, params, rng=s),
+            "tea+": lambda s: tea_plus(graph, s, params, rng=s),
+            "hk-relax": lambda s: hk_relax(graph, s, params, eps_a=1e-4),
+        }
+        for s in seeds:
+            estimate = runners[method_name](s)
+            score = ndcg_of_estimate(graph, estimate, truth[s], k=50)
+            assert score > 0.95
+
+    def test_sampling_methods_reasonable_ndcg(self, setting):
+        graph, params, seeds, truth = setting
+        s = seeds[0]
+        mc = monte_carlo_hkpr(graph, s, params, rng=1, num_walks=30_000)
+        ch = cluster_hkpr(graph, s, params, eps=0.1, rng=1, num_walks=30_000)
+        assert ndcg_of_estimate(graph, mc, truth[s], k=50) > 0.85
+        assert ndcg_of_estimate(graph, ch, truth[s], k=50) > 0.85
+
+    def test_tea_plus_never_much_worse_than_monte_carlo(self, setting):
+        """TEA+ should dominate plain Monte-Carlo at equal or lower cost."""
+        graph, params, seeds, truth = setting
+        s = seeds[1]
+        mc = monte_carlo_hkpr(graph, s, params, rng=2, num_walks=20_000)
+        tp = tea_plus(graph, s, params, rng=2, max_walks=20_000)
+        ndcg_mc = ndcg_of_estimate(graph, mc, truth[s], k=50)
+        ndcg_tp = ndcg_of_estimate(graph, tp, truth[s], k=50)
+        assert ndcg_tp >= ndcg_mc - 0.02
+        assert tp.counters.total_work <= mc.counters.total_work * 1.5

@@ -1,0 +1,88 @@
+"""Integration tests: end-to-end local clustering on community-structured graphs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clustering.conductance import conductance
+from repro.clustering.local import local_cluster
+from repro.clustering.quality import cluster_f1
+from repro.graph.communities import planted_partition_with_communities
+from repro.hkpr.params import HKPRParams
+
+
+@pytest.fixture(scope="module")
+def planted():
+    """Six planted communities of 25 nodes each, clearly separated."""
+    graph, communities = planted_partition_with_communities(
+        6, 25, 0.45, 0.008, seed=31
+    )
+    return graph, communities
+
+
+class TestPlantedCommunityRecovery:
+    @pytest.mark.parametrize("method", ["exact", "hk-relax", "tea", "tea+"])
+    def test_f1_high_for_every_hkpr_method(self, planted, method):
+        graph, communities = planted
+        params = HKPRParams(t=5.0, delta=1.0 / graph.num_nodes)
+        seeds = communities.sample_seeds(4, min_community_size=10, seed=5)
+        total_f1 = 0.0
+        for seed in seeds:
+            result = local_cluster(
+                graph, seed, method=method, params=params, rng=seed
+            )
+            total_f1 += cluster_f1(result.cluster, seed, communities)
+        assert total_f1 / len(seeds) > 0.7
+
+    def test_cluster_conductance_beats_random_baseline(self, planted, rng):
+        graph, communities = planted
+        params = HKPRParams(delta=1.0 / graph.num_nodes)
+        seed = communities[0][0]
+        result = local_cluster(graph, seed, method="tea+", params=params, rng=1)
+        random_set = rng.choice(graph.num_nodes, size=25, replace=False)
+        assert result.conductance < conductance(graph, random_set)
+
+    def test_monte_carlo_agrees_with_exact_on_cluster(self, planted):
+        graph, communities = planted
+        params = HKPRParams(delta=1.0 / graph.num_nodes)
+        seed = communities[2][0]
+        exact_cluster = local_cluster(graph, seed, method="exact", params=params)
+        mc_cluster = local_cluster(
+            graph,
+            seed,
+            method="monte-carlo",
+            params=params,
+            rng=3,
+            estimator_kwargs={"num_walks": 30_000},
+        )
+        overlap = len(exact_cluster.cluster & mc_cluster.cluster)
+        union = len(exact_cluster.cluster | mc_cluster.cluster)
+        assert overlap / union > 0.6
+
+    def test_methods_agree_with_each_other(self, planted):
+        """TEA, TEA+ and HK-Relax should produce very similar clusters."""
+        graph, communities = planted
+        params = HKPRParams(delta=1.0 / graph.num_nodes)
+        seed = communities[4][0]
+        clusters = {
+            method: local_cluster(graph, seed, method=method, params=params, rng=9).cluster
+            for method in ("tea", "tea+", "hk-relax")
+        }
+        for a in clusters.values():
+            for b in clusters.values():
+                jaccard = len(a & b) / len(a | b)
+                assert jaccard > 0.6
+
+
+class TestSeedsAcrossDegrees:
+    def test_low_and_high_degree_seeds_both_work(self, planted):
+        graph, _ = planted
+        params = HKPRParams(delta=1.0 / graph.num_nodes)
+        degrees = [(graph.degree(v), v) for v in graph.nodes()]
+        degrees.sort()
+        low_seed = degrees[0][1]
+        high_seed = degrees[-1][1]
+        for seed in (low_seed, high_seed):
+            result = local_cluster(graph, seed, method="tea+", params=params, rng=2)
+            assert result.contains_seed()
+            assert result.conductance < 1.0

@@ -1,0 +1,54 @@
+"""Tests for the Monte-Carlo HKPR baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.graph.generators import complete_graph
+from repro.hkpr.exact import exact_hkpr_dense
+from repro.hkpr.monte_carlo import monte_carlo_hkpr
+from repro.hkpr.params import HKPRParams
+
+
+class TestMonteCarlo:
+    def test_invalid_seed(self, small_ring, loose_params):
+        with pytest.raises(ParameterError):
+            monte_carlo_hkpr(small_ring, 99, loose_params)
+
+    def test_invalid_walk_override(self, small_ring, loose_params):
+        with pytest.raises(ParameterError):
+            monte_carlo_hkpr(small_ring, 0, loose_params, num_walks=0)
+
+    def test_mass_sums_to_one(self, small_ring, loose_params):
+        result = monte_carlo_hkpr(small_ring, 0, loose_params, rng=3, num_walks=2000)
+        assert result.total_mass(small_ring) == pytest.approx(1.0, abs=1e-9)
+
+    def test_deterministic_given_seed(self, small_ring, loose_params):
+        a = monte_carlo_hkpr(small_ring, 0, loose_params, rng=5, num_walks=500)
+        b = monte_carlo_hkpr(small_ring, 0, loose_params, rng=5, num_walks=500)
+        assert a.estimates.to_dict() == b.estimates.to_dict()
+
+    def test_counts_walks(self, small_ring, loose_params):
+        result = monte_carlo_hkpr(small_ring, 0, loose_params, rng=1, num_walks=123)
+        assert result.counters.random_walks == 123
+
+    def test_theory_walk_count_used_without_override(self, small_complete):
+        params = HKPRParams(eps_r=0.9, delta=0.2, p_f=0.1)
+        result = monte_carlo_hkpr(small_complete, 0, params, rng=1)
+        expected = int(np.ceil(params.omega_monte_carlo(small_complete)))
+        assert result.counters.random_walks == expected
+
+    def test_converges_to_exact(self, loose_params, rng):
+        graph = complete_graph(8)
+        exact = exact_hkpr_dense(graph, 0, loose_params.t)
+        estimate = monte_carlo_hkpr(
+            graph, 0, loose_params, rng=rng, num_walks=40_000
+        ).to_dense(graph)
+        assert np.max(np.abs(estimate - exact)) < 0.02
+
+    def test_method_name_and_support(self, small_ring, loose_params):
+        result = monte_carlo_hkpr(small_ring, 0, loose_params, rng=2, num_walks=200)
+        assert result.method == "monte-carlo"
+        assert 0 < result.support_size() <= small_ring.num_nodes

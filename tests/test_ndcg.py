@@ -1,0 +1,84 @@
+"""Tests for the NDCG ranking-accuracy metric."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.graph.generators import ring_graph
+from repro.hkpr.exact import exact_hkpr
+from repro.hkpr.params import HKPRParams
+from repro.hkpr.result import HKPRResult
+from repro.ranking.ndcg import dcg, ndcg, ndcg_of_estimate
+from repro.utils.sparsevec import SparseVector
+
+
+class TestDCG:
+    def test_single_item(self):
+        assert dcg([3.0]) == pytest.approx(3.0)
+
+    def test_log_discount(self):
+        assert dcg([1.0, 1.0]) == pytest.approx(1.0 + 1.0 / math.log2(3))
+
+    def test_negative_relevance_rejected(self):
+        with pytest.raises(ParameterError):
+            dcg([1.0, -0.1])
+
+    def test_order_matters(self):
+        assert dcg([3.0, 1.0]) > dcg([1.0, 3.0])
+
+
+class TestNDCG:
+    def test_perfect_ranking_is_one(self):
+        assert ndcg([5.0, 3.0, 1.0]) == pytest.approx(1.0)
+
+    def test_reversed_ranking_below_one(self):
+        assert ndcg([1.0, 3.0, 5.0]) < 1.0
+
+    def test_all_zero_relevance_is_one_by_convention(self):
+        assert ndcg([0.0, 0.0]) == 1.0
+
+    def test_with_external_ideal_pool(self):
+        # Ranking found two items but the ideal pool has a better third item.
+        value = ndcg([2.0, 1.0], ideal_relevances=[5.0, 2.0, 1.0])
+        assert value < 1.0
+
+    def test_bounded_by_one(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            rel = rng.random(10).tolist()
+            assert 0.0 <= ndcg(rel) <= 1.0
+
+
+class TestNDCGOfEstimate:
+    def test_exact_estimate_scores_one(self, small_ring, default_params):
+        exact = exact_hkpr(small_ring, 0, default_params)
+        truth = exact.to_dense(small_ring)
+        assert ndcg_of_estimate(small_ring, exact, truth) == pytest.approx(1.0)
+
+    def test_wrong_length_ground_truth_rejected(self, small_ring, default_params):
+        exact = exact_hkpr(small_ring, 0, default_params)
+        with pytest.raises(ParameterError):
+            ndcg_of_estimate(small_ring, exact, np.zeros(3))
+
+    def test_scrambled_estimate_scores_below_exact(self, default_params):
+        graph = ring_graph(20)
+        exact = exact_hkpr(graph, 0, default_params)
+        truth = exact.to_dense(graph)
+        # Build a deliberately bad estimate: reverse the ranking weights.
+        ranking = exact.ranking(graph)
+        scrambled_vec = SparseVector(
+            {node: float(i + 1) for i, node in enumerate(ranking)}
+        )
+        scrambled = HKPRResult(estimates=scrambled_vec, seed=0, method="bad")
+        good_score = ndcg_of_estimate(graph, exact, truth)
+        bad_score = ndcg_of_estimate(graph, scrambled, truth)
+        assert bad_score < good_score
+
+    def test_k_cutoff(self, small_ring, default_params):
+        exact = exact_hkpr(small_ring, 0, default_params)
+        truth = exact.to_dense(small_ring)
+        assert ndcg_of_estimate(small_ring, exact, truth, k=3) == pytest.approx(1.0)

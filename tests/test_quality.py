@@ -1,0 +1,66 @@
+"""Tests for precision/recall/F1 cluster quality metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clustering.quality import average_f1, cluster_f1, precision_recall_f1
+from repro.exceptions import ParameterError
+from repro.graph.communities import CommunitySet
+
+
+class TestPrecisionRecallF1:
+    def test_perfect_match(self):
+        assert precision_recall_f1({1, 2, 3}, {1, 2, 3}) == (1.0, 1.0, 1.0)
+
+    def test_no_overlap(self):
+        precision, recall, f1 = precision_recall_f1({1, 2}, {3, 4})
+        assert precision == 0.0
+        assert recall == 0.0
+        assert f1 == 0.0
+
+    def test_partial_overlap(self):
+        precision, recall, f1 = precision_recall_f1({1, 2, 3, 4}, {3, 4, 5, 6})
+        assert precision == pytest.approx(0.5)
+        assert recall == pytest.approx(0.5)
+        assert f1 == pytest.approx(0.5)
+
+    def test_subset_prediction(self):
+        precision, recall, f1 = precision_recall_f1({1, 2}, {1, 2, 3, 4})
+        assert precision == 1.0
+        assert recall == pytest.approx(0.5)
+        assert f1 == pytest.approx(2 / 3)
+
+    def test_empty_prediction(self):
+        assert precision_recall_f1(set(), {1, 2}) == (0.0, 0.0, 0.0)
+
+    def test_empty_truth_rejected(self):
+        with pytest.raises(ParameterError):
+            precision_recall_f1({1}, set())
+
+    def test_f1_symmetric_in_precision_recall(self):
+        _, _, a = precision_recall_f1({1, 2, 3, 4}, {1, 2})
+        _, _, b = precision_recall_f1({1, 2}, {1, 2, 3, 4})
+        assert a == pytest.approx(b)
+
+
+class TestClusterF1:
+    def test_picks_best_community_for_overlapping_membership(self):
+        communities = CommunitySet([[0, 1, 2, 3], [0, 10, 11, 12, 13, 14]])
+        predicted = {0, 1, 2}
+        # F1 vs first community: p=1, r=0.75 -> 6/7; vs second: much lower.
+        assert cluster_f1(predicted, 0, communities) == pytest.approx(6 / 7)
+
+    def test_zero_when_seed_has_no_community(self):
+        communities = CommunitySet([[1, 2, 3]])
+        assert cluster_f1({0, 4}, 0, communities) == 0.0
+
+    def test_average_f1(self):
+        communities = CommunitySet([[0, 1, 2, 3], [4, 5, 6, 7]])
+        clusters = {0: {0, 1, 2, 3}, 4: {4, 5}}
+        value = average_f1(clusters, communities)
+        assert value == pytest.approx((1.0 + 2 / 3) / 2)
+
+    def test_average_f1_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            average_f1({}, CommunitySet([[0, 1]]))

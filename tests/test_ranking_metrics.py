@@ -1,0 +1,67 @@
+"""Tests for the auxiliary ranking metrics (precision@k, Kendall tau, error profile)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.graph.generators import complete_graph
+from repro.hkpr.exact import exact_hkpr
+from repro.hkpr.monte_carlo import monte_carlo_hkpr
+from repro.hkpr.params import HKPRParams
+from repro.ranking.metrics import kendall_tau, precision_at_k, relative_error_profile
+
+
+class TestPrecisionAtK:
+    def test_identical_rankings(self):
+        assert precision_at_k([1, 2, 3], [1, 2, 3], 2) == 1.0
+
+    def test_disjoint_rankings(self):
+        assert precision_at_k([1, 2], [3, 4], 2) == 0.0
+
+    def test_partial(self):
+        assert precision_at_k([1, 5, 2], [1, 2, 3], 3) == pytest.approx(2 / 3)
+
+    def test_invalid_k(self):
+        with pytest.raises(ParameterError):
+            precision_at_k([1], [1], 0)
+
+
+class TestKendallTau:
+    def test_identical_order(self):
+        assert kendall_tau(np.array([1.0, 2.0, 3.0]), np.array([10.0, 20.0, 30.0])) == pytest.approx(1.0)
+
+    def test_reversed_order(self):
+        assert kendall_tau(np.array([3.0, 2.0, 1.0]), np.array([1.0, 2.0, 3.0])) == pytest.approx(-1.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ParameterError):
+            kendall_tau(np.array([1.0]), np.array([1.0, 2.0]))
+
+    def test_single_element_defaults_to_one(self):
+        assert kendall_tau(np.array([1.0]), np.array([2.0])) == 1.0
+
+
+class TestRelativeErrorProfile:
+    def test_exact_estimate_has_zero_errors(self, small_ring, default_params):
+        exact = exact_hkpr(small_ring, 0, default_params)
+        truth = exact.to_dense(small_ring)
+        profile = relative_error_profile(small_ring, exact, truth, delta=1e-4)
+        assert profile["max_relative_error_significant"] == pytest.approx(0.0, abs=1e-12)
+        assert profile["max_absolute_error_insignificant"] == pytest.approx(0.0, abs=1e-12)
+
+    def test_monte_carlo_profile_within_reason(self, default_params):
+        graph = complete_graph(10)
+        params = HKPRParams(eps_r=0.5, delta=1e-2, p_f=1e-2)
+        exact = exact_hkpr(graph, 0, params)
+        truth = exact.to_dense(graph)
+        estimate = monte_carlo_hkpr(graph, 0, params, rng=1, num_walks=20000)
+        profile = relative_error_profile(graph, estimate, truth, delta=params.delta)
+        assert profile["max_relative_error_significant"] < 0.5
+        assert profile["num_significant_nodes"] > 0
+
+    def test_wrong_ground_truth_shape(self, small_ring, default_params):
+        exact = exact_hkpr(small_ring, 0, default_params)
+        with pytest.raises(ParameterError):
+            relative_error_profile(small_ring, exact, np.zeros(2), delta=1e-3)

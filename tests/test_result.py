@@ -1,0 +1,95 @@
+"""Tests for the HKPRResult container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import star_graph
+from repro.hkpr.result import HKPRResult
+from repro.utils.sparsevec import SparseVector
+
+
+@pytest.fixture
+def star_result():
+    """A hand-built result on a 5-node star (node 0 is the hub, degree 4)."""
+    graph = star_graph(5)
+    estimates = SparseVector({0: 0.4, 1: 0.2, 2: 0.1})
+    result = HKPRResult(estimates=estimates, seed=0, method="test")
+    return graph, result
+
+
+class TestValues:
+    def test_value_without_offset(self, star_result):
+        graph, result = star_result
+        assert result.value(0, graph) == pytest.approx(0.4)
+        assert result.value(3, graph) == 0.0
+
+    def test_value_with_offset(self, star_result):
+        graph, result = star_result
+        result.offset_per_degree = 0.01
+        assert result.value(0, graph) == pytest.approx(0.4 + 0.01 * 4)
+        assert result.value(0, graph, include_offset=False) == pytest.approx(0.4)
+        assert result.value(3, graph) == pytest.approx(0.01)
+
+    def test_normalized_excludes_offset_by_default(self, star_result):
+        graph, result = star_result
+        result.offset_per_degree = 0.01
+        assert result.normalized(0, graph) == pytest.approx(0.4 / 4)
+        assert result.normalized(0, graph, include_offset=True) == pytest.approx(
+            0.4 / 4 + 0.01
+        )
+
+    def test_normalized_isolated_node_is_zero(self):
+        from repro.graph.graph import Graph
+
+        graph = Graph(3, [(0, 1)])
+        result = HKPRResult(estimates=SparseVector({2: 0.5}), seed=0, method="test")
+        assert result.normalized(2, graph) == 0.0
+
+
+class TestSupportAndRanking:
+    def test_support(self, star_result):
+        _, result = star_result
+        assert sorted(result.support()) == [0, 1, 2]
+        assert result.support_size() == 3
+
+    def test_ranking_orders_by_normalized_value(self, star_result):
+        graph, result = star_result
+        # normalized: node0 = 0.1, node1 = 0.2, node2 = 0.1 -> 1, then 0/2 by id
+        assert result.ranking(graph) == [1, 0, 2]
+
+    def test_ranking_tie_breaks_by_node_id(self, star_result):
+        graph, result = star_result
+        ranking = result.ranking(graph)
+        assert ranking.index(0) < ranking.index(2)
+
+
+class TestDense:
+    def test_to_dense_shape_and_values(self, star_result):
+        graph, result = star_result
+        dense = result.to_dense(graph)
+        assert dense.shape == (5,)
+        assert dense[1] == pytest.approx(0.2)
+
+    def test_to_dense_with_offset(self, star_result):
+        graph, result = star_result
+        result.offset_per_degree = 0.005
+        dense = result.to_dense(graph, include_offset=True)
+        plain = result.to_dense(graph, include_offset=False)
+        assert np.all(dense >= plain)
+        assert dense[3] == pytest.approx(0.005)
+
+    def test_normalized_dense(self, star_result):
+        graph, result = star_result
+        normalized = result.normalized_dense(graph)
+        assert normalized[0] == pytest.approx(0.1)
+        assert normalized[1] == pytest.approx(0.2)
+
+    def test_total_mass(self, star_result):
+        graph, result = star_result
+        assert result.total_mass(graph) == pytest.approx(0.7)
+        result.offset_per_degree = 0.01
+        assert result.total_mass(graph, include_offset=True) == pytest.approx(
+            0.7 + 0.01 * graph.total_volume
+        )

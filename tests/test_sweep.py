@@ -1,0 +1,89 @@
+"""Tests for the sweep-cut procedure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clustering.conductance import conductance
+from repro.clustering.sweep import sweep_cut, sweep_from_ranking
+from repro.exceptions import ParameterError
+from repro.graph.graph import Graph
+from repro.hkpr.exact import exact_hkpr
+from repro.hkpr.params import HKPRParams
+from repro.hkpr.result import HKPRResult
+from repro.utils.sparsevec import SparseVector
+
+
+def two_cliques_graph() -> Graph:
+    """Two K_5's joined by a single bridge edge."""
+    edges = [(u, v) for u in range(5) for v in range(u + 1, 5)]
+    edges += [(u, v) for u in range(5, 10) for v in range(u + 1, 10)]
+    edges.append((0, 5))
+    return Graph(10, edges)
+
+
+class TestSweepFromRanking:
+    def test_empty_ranking_rejected(self, small_ring):
+        with pytest.raises(ParameterError):
+            sweep_from_ranking(small_ring, [])
+
+    def test_unknown_node_rejected(self, small_ring):
+        with pytest.raises(ParameterError):
+            sweep_from_ranking(small_ring, [0, 99])
+
+    def test_profile_matches_direct_conductance(self, small_ring):
+        ranking = [0, 1, 2, 3, 4]
+        result = sweep_from_ranking(small_ring, ranking)
+        for i, phi in enumerate(result.conductance_profile):
+            assert phi == pytest.approx(conductance(small_ring, ranking[: i + 1]))
+
+    def test_best_prefix_is_minimum_of_profile(self, small_ring):
+        result = sweep_from_ranking(small_ring, [0, 1, 2, 3, 4])
+        assert result.conductance == pytest.approx(min(result.conductance_profile))
+        assert result.cluster == set([0, 1, 2, 3, 4][: result.best_prefix_size])
+
+    def test_duplicates_ignored(self, small_ring):
+        result = sweep_from_ranking(small_ring, [0, 0, 1, 1, 2])
+        assert result.sweep_order == [0, 1, 2]
+
+    def test_finds_planted_clique(self):
+        graph = two_cliques_graph()
+        # Rank the first clique's nodes first: the sweep should cut exactly there.
+        result = sweep_from_ranking(graph, [0, 1, 2, 3, 4, 5, 6, 7, 8, 9])
+        assert result.cluster == {0, 1, 2, 3, 4}
+        assert result.conductance == pytest.approx(1 / 21)
+
+    def test_volume_cap(self, small_complete):
+        # A cap smaller than any prefix volume still returns a single node.
+        result = sweep_from_ranking(small_complete, [0, 1], max_cluster_volume=1)
+        assert result.size >= 1
+
+
+class TestSweepCut:
+    def test_cluster_contains_seed(self, clustered_graph, default_params):
+        hkpr = exact_hkpr(clustered_graph, 0, default_params)
+        result = sweep_cut(clustered_graph, hkpr)
+        assert 0 in result.cluster
+
+    def test_include_seed_flag(self, small_ring):
+        # A degenerate result with no mass at the seed.
+        fake = HKPRResult(estimates=SparseVector({3: 1.0}), seed=0, method="fake")
+        swept = sweep_cut(small_ring, fake, include_seed=True)
+        assert 0 in swept.sweep_order
+
+    def test_recovers_clique_from_exact_hkpr(self, default_params):
+        graph = two_cliques_graph()
+        hkpr = exact_hkpr(graph, 1, default_params)
+        result = sweep_cut(graph, hkpr)
+        assert result.cluster == {0, 1, 2, 3, 4}
+
+    def test_conductance_profile_monotone_prefix_sizes(self, clustered_graph, default_params):
+        hkpr = exact_hkpr(clustered_graph, 0, default_params)
+        result = sweep_cut(clustered_graph, hkpr)
+        assert len(result.conductance_profile) == len(result.sweep_order)
+        assert 1 <= result.best_prefix_size <= len(result.sweep_order)
+
+    def test_sweep_result_volume_helper(self, clustered_graph, default_params):
+        hkpr = exact_hkpr(clustered_graph, 0, default_params)
+        result = sweep_cut(clustered_graph, hkpr)
+        assert result.volume(clustered_graph) == clustered_graph.volume(result.cluster)

@@ -1,0 +1,74 @@
+"""Tests for TEA (Algorithm 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.graph.generators import complete_graph, ring_graph
+from repro.hkpr.exact import exact_hkpr_dense
+from repro.hkpr.params import HKPRParams
+from repro.hkpr.tea import tea
+
+
+class TestTEA:
+    def test_invalid_seed(self, small_ring, default_params):
+        with pytest.raises(ParameterError):
+            tea(small_ring, 99, default_params)
+
+    def test_invalid_max_pushes(self, small_ring, default_params):
+        with pytest.raises(ParameterError):
+            tea(small_ring, 0, default_params, max_pushes=0)
+
+    def test_mass_close_to_one(self, small_ring, default_params):
+        result = tea(small_ring, 0, default_params, rng=1)
+        assert result.total_mass(small_ring) == pytest.approx(1.0, abs=0.05)
+
+    def test_deterministic_given_seed(self, small_ring, default_params):
+        a = tea(small_ring, 0, default_params, rng=7)
+        b = tea(small_ring, 0, default_params, rng=7)
+        assert a.estimates.to_dict() == b.estimates.to_dict()
+
+    def test_records_alpha_and_omega(self, small_ring, default_params):
+        result = tea(small_ring, 0, default_params, rng=1)
+        assert "alpha" in result.counters.extras
+        assert result.counters.extras["omega"] > 0
+
+    def test_no_walks_when_push_settles_everything(self, small_complete):
+        """With a tiny r_max the push phase can settle (almost) all mass."""
+        params = HKPRParams(eps_r=0.5, delta=1e-2, p_f=1e-2)
+        result = tea(small_complete, 0, params, r_max=1e-9, rng=1)
+        assert result.counters.random_walks <= result.counters.extras["omega"]
+        assert result.total_mass(small_complete) == pytest.approx(1.0, abs=1e-6)
+
+    def test_pure_monte_carlo_when_rmax_large(self, small_ring, default_params):
+        """A huge r_max suppresses all pushes; TEA degrades to Monte-Carlo."""
+        result = tea(small_ring, 0, default_params, r_max=10.0, rng=1, max_walks=2000)
+        assert result.counters.push_operations == 0
+        assert result.counters.random_walks > 0
+
+    def test_max_walks_cap(self, small_ring, default_params):
+        result = tea(small_ring, 0, default_params, r_max=10.0, rng=1, max_walks=50)
+        assert result.counters.random_walks <= 50
+
+    def test_max_pushes_raises_threshold(self, medium_powerlaw, default_params):
+        capped = tea(medium_powerlaw, 0, default_params, rng=1, max_pushes=500, max_walks=100)
+        assert capped.counters.push_operations <= 500 + medium_powerlaw.num_nodes
+
+    def test_approximation_quality_normalized(self, default_params, rng):
+        """Degree-normalized error should be at most eps_r*(rho/d) + eps_r*delta,
+        checked loosely on a small graph where the exact answer is cheap."""
+        graph = complete_graph(10)
+        params = HKPRParams(eps_r=0.5, delta=1e-3, p_f=1e-3)
+        exact = exact_hkpr_dense(graph, 0, params.t)
+        result = tea(graph, 0, params, rng=rng)
+        estimate = result.to_dense(graph)
+        degrees = graph.degrees.astype(float)
+        error = np.abs(estimate - exact) / degrees
+        bound = params.eps_r * exact / degrees + params.eps_r * params.delta
+        # Allow a small slack factor: the guarantee is probabilistic.
+        assert np.all(error <= 2.0 * bound + 1e-9)
+
+    def test_method_name(self, small_ring, default_params):
+        assert tea(small_ring, 0, default_params, rng=1).method == "tea"

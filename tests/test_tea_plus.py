@@ -1,0 +1,134 @@
+"""Tests for TEA+ (Algorithm 5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.graph.generators import complete_graph, ring_graph
+from repro.hkpr.exact import exact_hkpr_dense
+from repro.hkpr.params import HKPRParams
+from repro.hkpr.tea import tea
+from repro.hkpr.tea_plus import tea_plus
+
+
+class TestTEAPlus:
+    def test_invalid_seed(self, small_ring, default_params):
+        with pytest.raises(ParameterError):
+            tea_plus(small_ring, 99, default_params)
+
+    def test_deterministic_given_seed(self, small_ring, default_params):
+        a = tea_plus(small_ring, 0, default_params, rng=7)
+        b = tea_plus(small_ring, 0, default_params, rng=7)
+        assert a.estimates.to_dict() == b.estimates.to_dict()
+        assert a.offset_per_degree == b.offset_per_degree
+
+    def test_early_exit_on_loose_delta(self, small_ring):
+        params = HKPRParams(eps_r=0.5, delta=5e-2, p_f=1e-2)
+        result = tea_plus(small_ring, 0, params, rng=1)
+        assert result.early_exit
+        assert result.counters.random_walks == 0
+        assert result.offset_per_degree == 0.0
+
+    def test_early_exit_error_bound(self, small_ring):
+        params = HKPRParams(eps_r=0.5, delta=1e-2, p_f=1e-2)
+        result = tea_plus(small_ring, 0, params, rng=1)
+        exact = exact_hkpr_dense(small_ring, 0, params.t)
+        degrees = small_ring.degrees.astype(float)
+        error = np.abs(result.to_dense(small_ring) - exact) / degrees
+        assert np.max(error) <= params.eps_r * params.delta + 1e-9
+
+    def test_walk_phase_on_tight_delta(self, medium_powerlaw):
+        # A small explicit push budget forces HK-Push+ to stop early, leaving
+        # residue mass that must be refined with random walks.
+        params = HKPRParams(eps_r=0.3, delta=1e-6, p_f=1e-3)
+        result = tea_plus(
+            medium_powerlaw, 0, params, rng=3, max_walks=5000, push_budget=200
+        )
+        assert not result.early_exit
+        assert result.counters.random_walks > 0
+
+    def test_offset_recorded_only_after_walk_phase_with_reduction(self, medium_powerlaw):
+        params = HKPRParams(eps_r=0.3, delta=1e-6, p_f=1e-3)
+        with_reduction = tea_plus(
+            medium_powerlaw, 0, params, rng=3, max_walks=2000, push_budget=200
+        )
+        without_reduction = tea_plus(
+            medium_powerlaw,
+            0,
+            params,
+            rng=3,
+            max_walks=2000,
+            push_budget=200,
+            apply_residue_reduction=False,
+        )
+        assert with_reduction.offset_per_degree == pytest.approx(
+            params.eps_r * params.delta / 2
+        )
+        assert without_reduction.offset_per_degree == 0.0
+
+    def test_residue_reduction_reduces_residue_mass(self, medium_powerlaw):
+        """The §5.2 optimization must shrink the surviving residue mass alpha
+        (and hence the walk count, which is alpha * omega)."""
+        params = HKPRParams(eps_r=0.5, delta=1e-6, p_f=1e-3)
+        reduced = tea_plus(
+            medium_powerlaw, 5, params, rng=2, max_walks=500, push_budget=300
+        )
+        unreduced = tea_plus(
+            medium_powerlaw,
+            5,
+            params,
+            rng=2,
+            max_walks=500,
+            push_budget=300,
+            apply_residue_reduction=False,
+        )
+        assert reduced.counters.extras["alpha"] <= unreduced.counters.extras["alpha"]
+        assert reduced.counters.random_walks <= unreduced.counters.random_walks
+
+    def test_approximation_quality_normalized(self, rng):
+        """Loose empirical check of the (d, eps_r, delta) guarantee."""
+        graph = complete_graph(10)
+        params = HKPRParams(eps_r=0.5, delta=1e-3, p_f=1e-3)
+        exact = exact_hkpr_dense(graph, 0, params.t)
+        result = tea_plus(graph, 0, params, rng=rng)
+        estimate = result.to_dense(graph, include_offset=True)
+        degrees = graph.degrees.astype(float)
+        error = np.abs(estimate - exact) / degrees
+        bound = params.eps_r * exact / degrees + params.eps_r * params.delta
+        assert np.all(error <= 2.0 * bound + 1e-9)
+
+    def test_cheaper_than_tea_at_same_parameters(self, medium_powerlaw):
+        """The headline claim, measured in machine-independent work units."""
+        params = HKPRParams(eps_r=0.5, delta=1e-3, p_f=1e-3)
+        plus = tea_plus(medium_powerlaw, 0, params, rng=1, max_walks=50_000)
+        classic = tea(medium_powerlaw, 0, params, rng=1, max_walks=50_000)
+        assert plus.counters.total_work <= classic.counters.total_work
+
+    def test_hop_cap_and_budget_overrides(self, medium_powerlaw, default_params):
+        result = tea_plus(
+            medium_powerlaw,
+            0,
+            default_params,
+            rng=1,
+            max_hop=2,
+            push_budget=50,
+            max_walks=500,
+        )
+        assert result.counters.extras["max_hop"] == 2.0
+        assert result.counters.extras["push_budget"] == 50.0
+
+    def test_offset_does_not_change_ranking(self, medium_powerlaw):
+        params = HKPRParams(eps_r=0.3, delta=1e-6, p_f=1e-3)
+        result = tea_plus(
+            medium_powerlaw, 0, params, rng=4, max_walks=2000, push_budget=200
+        )
+        ranking_with = sorted(
+            result.support(),
+            key=lambda v: (-result.normalized(v, medium_powerlaw, include_offset=True), v),
+        )
+        assert ranking_with == result.ranking(medium_powerlaw)
+
+    def test_method_name(self, small_ring, default_params):
+        assert tea_plus(small_ring, 0, default_params, rng=1).method == "tea+"
