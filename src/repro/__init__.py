@@ -24,6 +24,7 @@ Quickstart
 True
 """
 
+from repro import engine
 from repro.clustering import (
     LocalClusteringResult,
     SweepResult,
@@ -56,6 +57,7 @@ __all__ = [
     "SweepResult",
     "cluster_hkpr",
     "conductance",
+    "engine",
     "exact_hkpr",
     "from_networkx",
     "generators",

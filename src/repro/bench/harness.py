@@ -19,7 +19,7 @@ from repro.clustering.local import local_cluster
 from repro.clustering.sweep import sweep_cut
 from repro.exceptions import ParameterError
 from repro.graph.graph import Graph
-from repro.hkpr import ESTIMATORS
+from repro.hkpr import ESTIMATORS, backend_estimator_kwargs
 from repro.hkpr.params import HKPRParams
 from repro.utils.rng import RandomState, ensure_rng
 
@@ -36,16 +36,23 @@ class MethodConfig:
 
     ``estimator_kwargs`` is forwarded to the estimator; ``params`` overrides
     the experiment-wide :class:`HKPRParams` when a sweep varies them.
+    ``backend`` selects the walk execution engine (see :mod:`repro.engine`)
+    for estimators with a walk phase; ``None`` uses the process default.
     """
 
     method: str
     label: str = ""
     params: HKPRParams | None = None
     estimator_kwargs: dict[str, Any] = field(default_factory=dict)
+    backend: str | None = None
 
     def display_name(self) -> str:
         """Label used in reports (method name plus the swept setting)."""
         return self.label or self.method
+
+    def resolved_kwargs(self) -> dict[str, Any]:
+        """``estimator_kwargs`` with the backend selection folded in."""
+        return backend_estimator_kwargs(self.method, self.backend, self.estimator_kwargs)
 
 
 @dataclass
@@ -61,7 +68,7 @@ class QueryRecord:
     cluster_size: int
     total_work: int
     memory_entries: int
-    extras: dict[str, float] = field(default_factory=dict)
+    extras: dict[str, Any] = field(default_factory=dict)
 
     def as_dict(self) -> dict[str, Any]:
         """Flatten to a plain dictionary (used by the reporting helpers)."""
@@ -141,7 +148,7 @@ def run_clustering_query(
         method=method,
         params=effective_params,
         rng=rng,
-        estimator_kwargs=config.estimator_kwargs,
+        estimator_kwargs=config.resolved_kwargs(),
     )
     counters = outcome.hkpr.counters
     # Figure-5 memory proxy: graph storage (n + 2m ids) plus working entries.
@@ -164,6 +171,7 @@ def run_clustering_query(
             "walk_steps": float(counters.walk_steps),
             "hkpr_support": float(outcome.hkpr.support_size()),
             "early_exit": float(outcome.hkpr.early_exit),
+            "backend": counters.extras.get("backend", ""),
         },
     )
 
@@ -211,9 +219,9 @@ def estimate_hkpr_only(
         raise ParameterError(f"method {config.method!r} is not an HKPR estimator")
     estimator = ESTIMATORS[config.method]
     if config.method == "exact":
-        return estimator(graph, seed_node, effective_params, **config.estimator_kwargs)
+        return estimator(graph, seed_node, effective_params, **config.resolved_kwargs())
     return estimator(
-        graph, seed_node, effective_params, rng=rng, **config.estimator_kwargs
+        graph, seed_node, effective_params, rng=rng, **config.resolved_kwargs()
     )
 
 

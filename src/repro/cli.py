@@ -31,8 +31,10 @@ from repro.bench import experiments as experiment_drivers
 from repro.bench.datasets import DATASETS, dataset_statistics, load_dataset
 from repro.bench.reporting import format_rows
 from repro.clustering.local import SUPPORTED_METHODS, local_cluster
+from repro.engine import available_backends, default_backend_name
 from repro.exceptions import ReproError
 from repro.graph.io import load_edge_list
+from repro.hkpr import backend_estimator_kwargs
 from repro.hkpr.params import HKPRParams
 
 #: Experiment names accepted by the ``experiment`` subcommand.
@@ -65,6 +67,21 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--seed-node", type=int, required=True, help="seed node id")
     cluster.add_argument(
         "--method", choices=sorted(SUPPORTED_METHODS), default="tea+", help="HKPR estimator"
+    )
+    try:
+        backend_default = default_backend_name()
+    except ReproError:
+        # An invalid $REPRO_BACKEND must not crash parser construction; the
+        # handler reports it through the normal error path when it matters.
+        backend_default = "invalid $REPRO_BACKEND"
+    cluster.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default=None,
+        help=(
+            "walk execution engine for randomized estimators "
+            f"(default: {backend_default})"
+        ),
     )
     cluster.add_argument("--t", type=float, default=5.0, help="heat constant (default 5)")
     cluster.add_argument("--eps-r", type=float, default=0.5, help="relative error bound")
@@ -103,13 +120,21 @@ def _run_cluster(args: argparse.Namespace) -> int:
     delta = args.delta if args.delta is not None else 1.0 / max(graph.num_nodes, 2)
     params = HKPRParams(t=args.t, eps_r=args.eps_r, delta=delta, p_f=args.p_f)
 
+    estimator_kwargs = backend_estimator_kwargs(args.method, args.backend)
     result = local_cluster(
-        graph, args.seed_node, method=args.method, params=params, rng=args.rng
+        graph,
+        args.seed_node,
+        method=args.method,
+        params=params,
+        rng=args.rng,
+        estimator_kwargs=estimator_kwargs,
     )
     counters = result.hkpr.counters
     print(f"graph           : {source} (n={graph.num_nodes}, m={graph.num_edges})")
     print(f"seed node       : {args.seed_node} (degree {graph.degree(args.seed_node)})")
     print(f"method          : {args.method}")
+    if "backend" in counters.extras:
+        print(f"backend         : {counters.extras['backend']}")
     print(f"cluster size    : {result.size}")
     print(f"conductance     : {result.conductance:.4f}")
     print(f"query time      : {result.elapsed_seconds * 1000:.1f} ms")

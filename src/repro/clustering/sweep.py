@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.exceptions import ParameterError
 from repro.graph.graph import Graph
 from repro.hkpr.result import HKPRResult
@@ -72,12 +74,14 @@ def sweep_from_ranking(
     """
     if not ranking:
         raise ParameterError("cannot sweep an empty ranking")
-    seen: set[int] = set()
     volume_limit = (
         max_cluster_volume if max_cluster_volume is not None else graph.total_volume // 2
     )
 
-    in_prefix: set[int] = set()
+    # Array-backed prefix membership: testing which neighbors are already in
+    # the prefix is one boolean gather per node instead of a per-neighbor
+    # set lookup.
+    in_prefix = np.zeros(graph.num_nodes, dtype=bool)
     prefix_volume = 0
     prefix_cut = 0
     best_conductance = float("inf")
@@ -87,16 +91,15 @@ def sweep_from_ranking(
 
     for node in ranking:
         node = int(node)
-        if node in seen:
-            continue
         if not graph.has_node(node):
             raise ParameterError(f"node {node} is not in the graph")
-        seen.add(node)
+        if in_prefix[node]:
+            continue
         order.append(node)
 
         degree = graph.degree(node)
-        internal_edges = sum(1 for nbr in graph.neighbors(node) if int(nbr) in in_prefix)
-        in_prefix.add(node)
+        internal_edges = int(np.count_nonzero(in_prefix[graph.neighbors(node)]))
+        in_prefix[node] = True
         prefix_volume += degree
         # Adding the node turns its internal edges from cut edges into
         # internal ones and its external edges into new cut edges.

@@ -58,46 +58,60 @@ class Graph:
     def __init__(self, n: int, edges: Iterable[Edge], *, dedupe: bool = False) -> None:
         if n < 0:
             raise GraphError(f"number of nodes must be non-negative, got {n}")
-        self._n = int(n)
+        self._n = n = int(n)
 
-        seen: set[Edge] = set()
-        cleaned: list[Edge] = []
-        for u, v in edges:
-            u, v = int(u), int(v)
-            if u < 0 or u >= n:
-                raise NodeNotFoundError(u, n)
-            if v < 0 or v >= n:
-                raise NodeNotFoundError(v, n)
-            if u == v:
-                if dedupe:
-                    continue
-                raise GraphError(f"self-loop ({u}, {v}) is not allowed")
-            key = (u, v) if u < v else (v, u)
-            if key in seen:
-                if dedupe:
-                    continue
-                raise GraphError(f"duplicate edge ({u}, {v})")
-            seen.add(key)
-            cleaned.append(key)
+        # Materialize the edges as an (m, 2) int64 array; every validation
+        # and the CSR build below is a whole-array operation.
+        if isinstance(edges, np.ndarray):
+            arr = edges.astype(np.int64, copy=True)
+        else:
+            edge_list = list(edges)
+            arr = np.array(
+                [(int(u), int(v)) for u, v in edge_list], dtype=np.int64
+            ) if edge_list else np.empty((0, 2), dtype=np.int64)
+        if arr.size == 0:
+            arr = arr.reshape(0, 2)
+        if arr.ndim != 2 or arr.shape[1] != 2:
+            raise GraphError(f"edges must be (u, v) pairs, got shape {arr.shape}")
 
-        self._m = len(cleaned)
-        degrees = np.zeros(n, dtype=np.int64)
-        for u, v in cleaned:
-            degrees[u] += 1
-            degrees[v] += 1
+        out_of_range = (arr < 0) | (arr >= n)
+        if out_of_range.any():
+            row, col = np.argwhere(out_of_range)[0]
+            raise NodeNotFoundError(int(arr[row, col]), n)
+
+        loops = arr[:, 0] == arr[:, 1]
+        if loops.any():
+            if not dedupe:
+                first = int(np.flatnonzero(loops)[0])
+                raise GraphError(
+                    f"self-loop ({arr[first, 0]}, {arr[first, 1]}) is not allowed"
+                )
+            arr = arr[~loops]
+
+        lo = np.minimum(arr[:, 0], arr[:, 1])
+        hi = np.maximum(arr[:, 0], arr[:, 1])
+        keys = lo * n + hi
+        unique_keys, first_seen = np.unique(keys, return_index=True)
+        if unique_keys.size != keys.size:
+            if not dedupe:
+                order = np.argsort(keys, kind="stable")
+                sorted_keys = keys[order]
+                repeats = order[1:][sorted_keys[1:] == sorted_keys[:-1]]
+                first = int(repeats.min())
+                raise GraphError(f"duplicate edge ({arr[first, 0]}, {arr[first, 1]})")
+            lo, hi = lo[first_seen], hi[first_seen]
+
+        self._m = int(lo.size)
+        sources = np.concatenate([lo, hi])
+        targets = np.concatenate([hi, lo])
+        degrees = np.bincount(sources, minlength=n).astype(np.int64)
         indptr = np.zeros(n + 1, dtype=np.int64)
         np.cumsum(degrees, out=indptr[1:])
-        indices = np.zeros(2 * self._m, dtype=np.int64)
-        cursor = indptr[:-1].copy()
-        for u, v in cleaned:
-            indices[cursor[u]] = v
-            cursor[u] += 1
-            indices[cursor[v]] = u
-            cursor[v] += 1
-        # Sort each adjacency slice so neighbor iteration is deterministic.
-        for node in range(n):
-            start, end = indptr[node], indptr[node + 1]
-            indices[start:end] = np.sort(indices[start:end])
+        # Lexsort by (source, target): grouping by source yields the CSR
+        # layout and the secondary key leaves every adjacency slice sorted,
+        # so neighbor iteration is deterministic.
+        order = np.lexsort((targets, sources))
+        indices = targets[order]
 
         self._indptr = indptr
         self._indices = indices
@@ -132,6 +146,25 @@ class Graph:
     def degrees(self) -> np.ndarray:
         """Read-only view of the degree array."""
         view = self._degrees.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def indptr(self) -> np.ndarray:
+        """Read-only view of the CSR row-pointer array (length ``n + 1``).
+
+        Together with :attr:`indices` this exposes the raw CSR layout to
+        batched execution backends (:mod:`repro.engine`), which gather
+        neighbors for many walks at once via fancy-indexing.
+        """
+        view = self._indptr.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def indices(self) -> np.ndarray:
+        """Read-only view of the CSR adjacency array (length ``2m``)."""
+        view = self._indices.view()
         view.flags.writeable = False
         return view
 
@@ -213,24 +246,41 @@ class Graph:
     # ------------------------------------------------------------------ #
     # Whole-graph views
     # ------------------------------------------------------------------ #
+    def _node_array(self, nodes: Iterable[int]) -> np.ndarray:
+        """Convert an iterable of node ids to a validated int64 array."""
+        node_arr = np.fromiter((int(v) for v in nodes), dtype=np.int64)
+        invalid = (node_arr < 0) | (node_arr >= self._n)
+        if invalid.any():
+            first = int(node_arr[np.flatnonzero(invalid)[0]])
+            raise NodeNotFoundError(first, self._n)
+        return node_arr
+
     def volume(self, nodes: Iterable[int]) -> int:
         """Sum of degrees over ``nodes`` (the paper's ``vol(S)``)."""
-        total = 0
-        for node in nodes:
-            total += self.degree(int(node))
-        return total
+        node_arr = self._node_array(nodes)
+        if node_arr.size == 0:
+            return 0
+        return int(self._degrees[node_arr].sum())
 
     def cut_size(self, nodes: Iterable[int]) -> int:
         """Number of edges with exactly one endpoint in ``nodes``."""
-        node_set = {int(v) for v in nodes}
-        for node in node_set:
-            self._check_node(node)
-        cut = 0
-        for node in node_set:
-            for nbr in self.neighbors(node):
-                if int(nbr) not in node_set:
-                    cut += 1
-        return cut
+        node_arr = np.unique(self._node_array(nodes))
+        if node_arr.size == 0:
+            return 0
+        member = np.zeros(self._n, dtype=bool)
+        member[node_arr] = True
+        starts = self._indptr[node_arr]
+        counts = self._degrees[node_arr]
+        total = int(counts.sum())
+        if total == 0:
+            return 0
+        # Gather the concatenated adjacency slices of all member nodes with
+        # one fancy-index (the standard CSR "ranges" trick), then count the
+        # neighbors that fall outside the set.
+        ends = np.cumsum(counts)
+        positions = np.arange(total) + np.repeat(starts - (ends - counts), counts)
+        neighbors = self._indices[positions]
+        return int(np.count_nonzero(~member[neighbors]))
 
     def adjacency_matrix(self) -> "scipy.sparse.csr_matrix":  # noqa: F821
         """The sparse adjacency matrix ``A`` (symmetric, 0/1)."""

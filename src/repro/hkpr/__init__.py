@@ -39,8 +39,30 @@ ESTIMATORS = {
 """Registry mapping method names (as used by the benchmark harness and the
 high-level clustering API) to estimator callables."""
 
+BACKEND_AWARE_METHODS = frozenset({"monte-carlo", "cluster-hkpr", "tea", "tea+"})
+"""Estimators with a random-walk phase that accept a ``backend=`` keyword
+(see :mod:`repro.engine`); the deterministic estimators do not."""
+
+
+def backend_estimator_kwargs(
+    method: str, backend: str | None, estimator_kwargs: dict | None = None
+) -> dict:
+    """``estimator_kwargs`` with ``backend`` folded in where it applies.
+
+    The single place that knows which methods take a ``backend=`` keyword —
+    used by :func:`repro.hkpr.batch.batch_hkpr`, the benchmark harness and
+    the CLI, so a new backend-aware estimator needs one registry update.
+    An explicit ``backend`` key in ``estimator_kwargs`` wins.
+    """
+    kwargs = dict(estimator_kwargs or {})
+    if backend is not None and method in BACKEND_AWARE_METHODS:
+        kwargs.setdefault("backend", backend)
+    return kwargs
+
 __all__ = [
+    "BACKEND_AWARE_METHODS",
     "ESTIMATORS",
+    "backend_estimator_kwargs",
     "HKPRParams",
     "HKPRResult",
     "PoissonWeights",

@@ -90,16 +90,24 @@ class AliasSampler(Generic[ItemT]):
             return self._items[index]
         return self._items[int(self._alias[index])]
 
-    def sample_many(self, count: int, rng: np.random.Generator) -> list[ItemT]:
-        """Draw ``count`` items independently."""
+    def sample_indices(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``count`` item *indices* independently, fully vectorized.
+
+        This is the form the batched walk phases consume: the caller keeps
+        the per-item payload (walk start node, hop offset, ...) in parallel
+        arrays and fancy-indexes them with the result.
+        """
         if count < 0:
             raise ParameterError(f"count must be non-negative, got {count}")
         columns = rng.integers(0, len(self._items), size=count)
         coins = rng.random(count)
-        out: list[ItemT] = []
-        for column, coin in zip(columns, coins, strict=True):
-            if coin < self._prob[column]:
-                out.append(self._items[int(column)])
-            else:
-                out.append(self._items[int(self._alias[column])])
-        return out
+        return np.where(coins < self._prob[columns], columns, self._alias[columns])
+
+    def sample_batch(self, count: int, rng: np.random.Generator) -> list[ItemT]:
+        """Draw ``count`` items independently (one vectorized pass)."""
+        items = self._items
+        return [items[index] for index in self.sample_indices(count, rng)]
+
+    def sample_many(self, count: int, rng: np.random.Generator) -> list[ItemT]:
+        """Alias of :meth:`sample_batch`, kept for backwards compatibility."""
+        return self.sample_batch(count, rng)

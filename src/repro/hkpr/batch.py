@@ -46,19 +46,24 @@ def batch_hkpr(
     params: HKPRParams | None = None,
     rng: RandomState = None,
     estimator_kwargs: dict | None = None,
+    backend: str | None = None,
 ) -> dict[int, HKPRResult]:
     """Run one estimator for every seed in ``seeds``.
 
     Returns a mapping from seed node to its :class:`HKPRResult`.  Each seed
     gets its own RNG stream derived from ``rng``, so results are
-    reproducible and independent of the order of ``seeds``.
+    reproducible and independent of the order of ``seeds``.  ``backend``
+    selects the walk execution engine for estimators with a walk phase
+    (see :mod:`repro.engine`) and is ignored for the deterministic ones.
     """
     if not seeds:
         raise ParameterError("need at least one seed node")
     estimator = _resolve_estimator(method)
     if params is None:
         params = HKPRParams(delta=1.0 / max(graph.num_nodes, 2))
-    kwargs = dict(estimator_kwargs or {})
+    from repro.hkpr import backend_estimator_kwargs  # local import, avoids a cycle
+
+    kwargs = backend_estimator_kwargs(method, backend, estimator_kwargs)
     root = ensure_rng(rng)
     results: dict[int, HKPRResult] = {}
     for seed_node in seeds:
@@ -91,6 +96,7 @@ def seed_set_hkpr(
     params: HKPRParams | None = None,
     rng: RandomState = None,
     estimator_kwargs: dict | None = None,
+    backend: str | None = None,
 ) -> HKPRResult:
     """HKPR of a seed *distribution* (non-negative weights, normalized here).
 
@@ -120,6 +126,7 @@ def seed_set_hkpr(
         params=params,
         rng=rng,
         estimator_kwargs=estimator_kwargs,
+        backend=backend,
     )
     mixture = SparseVector()
     offset = 0.0

@@ -17,11 +17,13 @@ from __future__ import annotations
 import math
 import time
 
+import numpy as np
+
+from repro.engine import Backend, chunk_sizes, get_backend
 from repro.exceptions import ParameterError
 from repro.graph.graph import Graph
 from repro.hkpr.params import HKPRParams
 from repro.hkpr.poisson import PoissonWeights
-from repro.hkpr.random_walk import poisson_length_walk
 from repro.hkpr.result import HKPRResult
 from repro.utils.counters import OperationCounters
 from repro.utils.rng import RandomState, ensure_rng
@@ -35,6 +37,7 @@ def monte_carlo_hkpr(
     *,
     rng: RandomState = None,
     num_walks: int | None = None,
+    backend: str | Backend | None = None,
 ) -> HKPRResult:
     """Estimate the HKPR vector of ``seed_node`` with pure Monte-Carlo walks.
 
@@ -48,6 +51,9 @@ def monte_carlo_hkpr(
         Override the theory-driven walk count.  Useful in tests and in
         benchmark configurations where the full count would be impractical
         in pure Python; when overridden the accuracy guarantee is waived.
+    backend:
+        Execution backend for the walks (name, instance, or ``None`` for
+        the process default; see :mod:`repro.engine`).
 
     Returns
     -------
@@ -56,6 +62,7 @@ def monte_carlo_hkpr(
     if not graph.has_node(seed_node):
         raise ParameterError(f"seed node {seed_node} is not in the graph")
     generator = ensure_rng(rng)
+    engine = get_backend(backend)
     start = time.perf_counter()
     weights = PoissonWeights(params.t)
 
@@ -66,13 +73,19 @@ def monte_carlo_hkpr(
         raise ParameterError(f"number of walks must be >= 1, got {walks}")
 
     counters = OperationCounters()
+    counters.extras["backend"] = engine.name
     estimates = SparseVector()
     increment = 1.0 / walks
-    for _ in range(walks):
-        end_node = poisson_length_walk(
-            graph, seed_node, weights, generator, counters=counters
+    # Chunked so the theory-driven walk count stays bounded-memory.
+    for batch in chunk_sizes(walks):
+        end_nodes = engine.poisson_walk_batch(
+            graph,
+            np.full(batch, seed_node, dtype=np.int64),
+            weights,
+            generator,
+            counters=counters,
         )
-        estimates.add(end_node, increment)
+        estimates.add_many(end_nodes, increment)
 
     counters.reserve_entries = estimates.nnz()
     elapsed = time.perf_counter() - start

@@ -74,6 +74,7 @@ class PoissonWeights:
         self._eta = eta
         self._psi = psi
         self._max_hop = max_hops
+        self._stop_table: np.ndarray | None = None
 
     @staticmethod
     def _truncation_hop(t: float, tol: float) -> int:
@@ -131,6 +132,24 @@ class PoissonWeights:
         if psi_k <= 0.0:
             return 1.0
         return float(min(1.0, self._eta[k] / psi_k))
+
+    def stop_probability_array(self) -> np.ndarray:
+        """``stop_probability(k)`` for ``k = 0 .. max_hop`` as one array.
+
+        Entry ``max_hop`` is 1.0 (forced stop), so batched kernels can look
+        up hop ``k`` as ``table[min(k, max_hop)]``.  The array is cached and
+        read-only; it is the vectorized counterpart of
+        :meth:`stop_probability`.
+        """
+        if self._stop_table is None:
+            table = np.ones(self._max_hop + 1, dtype=float)
+            positive = self._psi[:-1] > 0.0
+            table[:-1][positive] = np.minimum(
+                1.0, self._eta[:-1][positive] / self._psi[:-1][positive]
+            )
+            table.flags.writeable = False
+            self._stop_table = table
+        return self._stop_table
 
     def eta_array(self, max_hop: int) -> np.ndarray:
         """``eta(0..max_hop)`` as an array (entries beyond truncation are 0)."""

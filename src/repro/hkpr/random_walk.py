@@ -65,7 +65,10 @@ def k_random_walk(
     steps = 0
     while True:
         stop_probability = weights.stop_probability(hop_offset + steps)
-        if rng.random() <= stop_probability:
+        # Strict comparison: rng.random() draws from [0, 1), so
+        # P(draw < p) == p exactly, and a stop probability of 0.0 can never
+        # trigger on a drawn 0.0 (``<=`` would stop there).
+        if rng.random() < stop_probability:
             break
         if graph.degree(current) == 0:
             # An isolated node cannot continue; terminate the walk there.

@@ -28,13 +28,15 @@ from __future__ import annotations
 import math
 import time
 
+import numpy as np
+
+from repro.engine import Backend, chunk_sizes, get_backend
 from repro.exceptions import ParameterError
 from repro.graph.graph import Graph
 from repro.hkpr.alias import AliasSampler
 from repro.hkpr.hk_push_plus import hk_push_plus
 from repro.hkpr.params import HKPRParams
 from repro.hkpr.poisson import PoissonWeights
-from repro.hkpr.random_walk import k_random_walk
 from repro.hkpr.result import HKPRResult
 from repro.utils.counters import OperationCounters
 from repro.utils.rng import RandomState, ensure_rng
@@ -51,6 +53,7 @@ def tea_plus(
     apply_offset: bool = True,
     push_budget: int | None = None,
     max_hop: int | None = None,
+    backend: str | Backend | None = None,
 ) -> HKPRResult:
     """Estimate the HKPR vector of ``seed_node`` with TEA+ (Algorithm 5).
 
@@ -69,6 +72,9 @@ def tea_plus(
         benchmark disables them individually.
     push_budget, max_hop:
         Overrides for ``n_p`` and ``K`` (defaults follow Algorithm 5, Line 5).
+    backend:
+        Execution backend for the walk phase (name, instance, or ``None``
+        for the process default; see :mod:`repro.engine`).
 
     Returns
     -------
@@ -79,6 +85,7 @@ def tea_plus(
     if not graph.has_node(seed_node):
         raise ParameterError(f"seed node {seed_node} is not in the graph")
     generator = ensure_rng(rng)
+    engine = get_backend(backend)
     start = time.perf_counter()
 
     weights = PoissonWeights(params.t)
@@ -91,6 +98,7 @@ def tea_plus(
     counters.extras["omega"] = omega
     counters.extras["push_budget"] = float(budget)
     counters.extras["max_hop"] = float(hop_cap)
+    counters.extras["backend"] = engine.name
 
     push_outcome = hk_push_plus(
         graph,
@@ -133,17 +141,27 @@ def tea_plus(
         if max_walks is not None:
             num_walks = min(num_walks, max_walks)
         if num_walks > 0:
-            sampler = AliasSampler(
-                [(node, hop) for hop, node, _ in entries],
-                [value for _, _, value in entries],
+            sampler = AliasSampler(entries, [value for _, _, value in entries])
+            start_nodes = np.fromiter(
+                (node for _, node, _ in entries), np.int64, count=len(entries)
+            )
+            start_hops = np.fromiter(
+                (hop for hop, _, _ in entries), np.int64, count=len(entries)
             )
             increment = alpha / num_walks
-            for _ in range(num_walks):
-                walk_node, walk_hop = sampler.sample(generator)
-                end_node = k_random_walk(
-                    graph, walk_node, walk_hop, weights, generator, counters=counters
+            # Chunked so the walk phase stays bounded-memory at the
+            # theory-driven (omega-scale) walk counts.
+            for batch in chunk_sizes(num_walks):
+                picks = sampler.sample_indices(batch, generator)
+                end_nodes = engine.walk_batch(
+                    graph,
+                    start_nodes[picks],
+                    start_hops[picks],
+                    weights,
+                    generator,
+                    counters=counters,
                 )
-                estimates.add(end_node, increment)
+                estimates.add_many(end_nodes, increment)
 
     # Offset correction (Lines 18-19), stored lazily on the result.
     offset = (

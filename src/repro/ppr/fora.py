@@ -22,6 +22,7 @@ import time
 
 import numpy as np
 
+from repro.engine import Backend, chunk_sizes, get_backend
 from repro.exceptions import ParameterError
 from repro.graph.graph import Graph
 from repro.hkpr.alias import AliasSampler
@@ -30,25 +31,6 @@ from repro.ppr.push import forward_push
 from repro.utils.counters import OperationCounters
 from repro.utils.rng import RandomState, ensure_rng
 from repro.utils.sparsevec import SparseVector
-
-
-def _geometric_walk(
-    graph: Graph,
-    start_node: int,
-    alpha: float,
-    rng: np.random.Generator,
-    counters: OperationCounters,
-) -> int:
-    """Walk that stops with probability ``alpha`` at each step; returns the end node."""
-    current = start_node
-    steps = 0
-    while rng.random() > alpha:
-        if graph.degree(current) == 0:
-            break
-        current = graph.random_neighbor(current, rng)
-        steps += 1
-    counters.record_walk(steps)
-    return current
 
 
 def walk_count(graph: Graph, eps_r: float, delta: float, p_f: float) -> int:
@@ -75,6 +57,7 @@ def monte_carlo_ppr(
     alpha: float = 0.15,
     num_walks: int = 10_000,
     rng: RandomState = None,
+    backend: str | Backend | None = None,
 ) -> HKPRResult:
     """Plain Monte-Carlo PPR: the fraction of restart walks ending at each node."""
     if not graph.has_node(seed_node):
@@ -84,13 +67,21 @@ def monte_carlo_ppr(
     if not 0.0 < alpha < 1.0:
         raise ParameterError(f"alpha must be in (0, 1), got {alpha}")
     generator = ensure_rng(rng)
+    engine = get_backend(backend)
     start = time.perf_counter()
     counters = OperationCounters()
+    counters.extras["backend"] = engine.name
     estimates = SparseVector()
     increment = 1.0 / num_walks
-    for _ in range(num_walks):
-        end_node = _geometric_walk(graph, seed_node, alpha, generator, counters)
-        estimates.add(end_node, increment)
+    for batch in chunk_sizes(num_walks):
+        end_nodes = engine.geometric_walk_batch(
+            graph,
+            np.full(batch, seed_node, dtype=np.int64),
+            alpha,
+            generator,
+            counters=counters,
+        )
+        estimates.add_many(end_nodes, increment)
     counters.reserve_entries = estimates.nnz()
     return HKPRResult(
         estimates=estimates,
@@ -112,6 +103,7 @@ def fora(
     r_max: float | None = None,
     rng: RandomState = None,
     max_walks: int | None = None,
+    backend: str | Backend | None = None,
 ) -> HKPRResult:
     """Estimate the PPR vector of ``seed_node`` with FORA (push + walks).
 
@@ -128,10 +120,14 @@ def fora(
         clamped to at most ``1/omega``.
     max_walks:
         Optional safety cap on the number of walks.
+    backend:
+        Execution backend for the walk phase (name, instance, or ``None``
+        for the process default; see :mod:`repro.engine`).
     """
     if not graph.has_node(seed_node):
         raise ParameterError(f"seed node {seed_node} is not in the graph")
     generator = ensure_rng(rng)
+    engine = get_backend(backend)
     start = time.perf_counter()
     effective_delta = delta if delta is not None else 1.0 / max(graph.num_nodes, 2)
     omega = walk_count(graph, eps_r, effective_delta, p_f)
@@ -145,6 +141,7 @@ def fora(
 
     counters = OperationCounters()
     counters.extras["omega"] = float(omega)
+    counters.extras["backend"] = engine.name
     push_outcome = forward_push(
         graph, seed_node, alpha=alpha, r_max=r_max, counters=counters
     )
@@ -159,12 +156,17 @@ def fora(
             num_walks = min(num_walks, max_walks)
         if num_walks > 0:
             entries = list(residue.items())
-            sampler = AliasSampler([node for node, _ in entries], [v for _, v in entries])
+            start_nodes = np.fromiter(
+                (node for node, _ in entries), np.int64, count=len(entries)
+            )
+            sampler = AliasSampler(start_nodes, [v for _, v in entries])
             increment = residual_mass / num_walks
-            for _ in range(num_walks):
-                walk_start = sampler.sample(generator)
-                end_node = _geometric_walk(graph, walk_start, alpha, generator, counters)
-                estimates.add(end_node, increment)
+            for batch in chunk_sizes(num_walks):
+                picks = sampler.sample_indices(batch, generator)
+                end_nodes = engine.geometric_walk_batch(
+                    graph, start_nodes[picks], alpha, generator, counters=counters
+                )
+                estimates.add_many(end_nodes, increment)
 
     counters.reserve_entries = max(counters.reserve_entries, estimates.nnz())
     return HKPRResult(

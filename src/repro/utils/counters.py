@@ -29,7 +29,7 @@ class OperationCounters:
     walk_steps: int = 0
     residue_entries: int = 0
     reserve_entries: int = 0
-    extras: dict[str, float] = field(default_factory=dict)
+    extras: dict[str, float | str] = field(default_factory=dict)
 
     def record_pushes(self, count: int) -> None:
         """Add ``count`` push operations."""
@@ -51,7 +51,13 @@ class OperationCounters:
         )
         merged.extras = {**self.extras}
         for key, value in other.extras.items():
-            merged.extras[key] = merged.extras.get(key, 0.0) + value
+            existing = merged.extras.get(key)
+            if isinstance(value, str) or isinstance(existing, str):
+                # Tag-like extras (e.g. the execution backend name) are kept
+                # when both sides agree and marked "mixed" otherwise.
+                merged.extras[key] = value if existing in (None, value) else "mixed"
+            else:
+                merged.extras[key] = (existing or 0.0) + value
         return merged
 
     @property
@@ -63,9 +69,9 @@ class OperationCounters:
         """Number of vector entries held, the Figure-5 memory proxy."""
         return self.residue_entries + self.reserve_entries
 
-    def as_dict(self) -> dict[str, float]:
+    def as_dict(self) -> dict[str, float | str]:
         """Flatten the counters into a plain dictionary for reporting."""
-        out: dict[str, float] = {
+        out: dict[str, float | str] = {
             "push_operations": self.push_operations,
             "random_walks": self.random_walks,
             "walk_steps": self.walk_steps,

@@ -56,6 +56,39 @@ class SparseVector:
         new_value = self._data.get(node, 0.0) + delta
         self[node] = new_value
 
+    def add_many(self, nodes, increments) -> None:
+        """Bulk-accumulate ``increments`` into the entries for ``nodes``.
+
+        ``nodes`` is any integer array-like (repeats allowed);
+        ``increments`` is either a scalar applied to every node or an array
+        of per-node deltas of the same length.  Repeated nodes are reduced
+        with :func:`numpy.bincount` first, so the Python-level dictionary is
+        touched once per *distinct* node — this is the accumulation path the
+        batched walk kernels (:mod:`repro.engine`) rely on.
+        """
+        node_arr = np.asarray(nodes, dtype=np.int64).ravel()
+        if node_arr.size == 0:
+            return
+        if np.ndim(increments) == 0:
+            unique, counts = np.unique(node_arr, return_counts=True)
+            deltas = counts * float(increments)
+        else:
+            inc_arr = np.asarray(increments, dtype=float).ravel()
+            if inc_arr.size != node_arr.size:
+                raise ValueError(
+                    f"nodes and increments must have equal length, "
+                    f"got {node_arr.size} and {inc_arr.size}"
+                )
+            unique, inverse = np.unique(node_arr, return_inverse=True)
+            deltas = np.bincount(inverse, weights=inc_arr)
+        data = self._data
+        for node, delta in zip(unique.tolist(), deltas.tolist()):
+            new_value = data.get(node, 0.0) + delta
+            if new_value == 0.0:
+                data.pop(node, None)
+            else:
+                data[node] = new_value
+
     def items(self) -> Iterator[tuple[int, float]]:
         """Iterate over ``(node, value)`` pairs with non-zero value."""
         return iter(self._data.items())

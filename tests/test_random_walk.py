@@ -84,6 +84,59 @@ class TestKRandomWalk:
         assert ends_at_start / walks == pytest.approx(expected, abs=0.02)
 
 
+class _ZeroDrawRNG:
+    """Stub generator whose uniform draws are always 0.0 (the infimum of
+    ``random()``'s support) and whose integer draws are always 0."""
+
+    def random(self):
+        return 0.0
+
+    def integers(self, *args, **kwargs):
+        return 0
+
+
+class _StubWeights:
+    """Stop probability 0 for the first ``free_hops`` hops, then 1."""
+
+    def __init__(self, free_hops: int) -> None:
+        self.free_hops = free_hops
+
+    def stop_probability(self, k: int) -> float:
+        return 0.0 if k < self.free_hops else 1.0
+
+
+class TestStopTestConvention:
+    def test_zero_stop_probability_never_stops(self, small_ring):
+        """``rng.random()`` draws from [0, 1), so a drawn 0.0 must NOT
+        trigger a stop when the stop probability is exactly 0.0 (the old
+        ``<=`` comparison stopped there, skewing the length distribution)."""
+        counters = OperationCounters()
+        end = k_random_walk(
+            small_ring, 0, 0, _StubWeights(5), _ZeroDrawRNG(), counters=counters
+        )
+        assert counters.walk_steps == 5
+        assert small_ring.has_node(end)
+
+    def test_walk_length_distribution_matches_poisson_weights(self):
+        """Regression pin: from hop offset 0 the number of traversed edges
+        is exactly Poisson(t) distributed (Lemma 2), so the empirical CDF
+        must match ``PoissonWeights.eta`` to KS accuracy."""
+        t = 3.0
+        weights = PoissonWeights(t)
+        graph = complete_graph(8)
+        rng = np.random.default_rng(321)
+        walks = 6000
+        lengths = np.empty(walks, dtype=np.int64)
+        for i in range(walks):
+            counters = OperationCounters()
+            k_random_walk(graph, 0, 0, weights, rng, counters=counters)
+            lengths[i] = counters.walk_steps
+        empirical = np.bincount(lengths, minlength=weights.max_hop + 1) / walks
+        expected = weights.eta_array(weights.max_hop)
+        ks_distance = np.max(np.abs(np.cumsum(empirical) - np.cumsum(expected)))
+        assert ks_distance < 0.02
+
+
 class TestPoissonLengthWalk:
     def test_returns_valid_node(self, poisson_weights, rng, small_star):
         for _ in range(50):
