@@ -7,6 +7,8 @@ writing Python:
   (or a named benchmark surrogate), printing the cluster and its statistics.
 * ``repro-cli datasets`` — list the built-in benchmark surrogates with their
   Table-7 statistics.
+* ``repro-cli backends`` — list the registered walk-execution backends
+  (see :mod:`repro.engine`) and which one is the current default.
 * ``repro-cli experiment`` — run one of the paper's experiments (figure2,
   figure3, ..., table8, ablation) at a configurable scale and print the
   result table.
@@ -16,8 +18,10 @@ Examples
 ::
 
     python -m repro.cli datasets
+    python -m repro.cli backends
     python -m repro.cli cluster --dataset dblp-sim --seed-node 42 --method tea+
     python -m repro.cli cluster --edge-list my_graph.txt --seed-node 7 --t 10
+    python -m repro.cli cluster --dataset dblp-sim --seed-node 42 --backend parallel
     python -m repro.cli experiment figure3 --datasets grid3d-sim --num-seeds 2
 """
 
@@ -31,7 +35,7 @@ from repro.bench import experiments as experiment_drivers
 from repro.bench.datasets import DATASETS, dataset_statistics, load_dataset
 from repro.bench.reporting import format_rows
 from repro.clustering.local import SUPPORTED_METHODS, local_cluster
-from repro.engine import available_backends, default_backend_name
+from repro.engine import backend_descriptions, default_backend_name, get_backend
 from repro.exceptions import ReproError
 from repro.graph.io import load_edge_list
 from repro.hkpr import backend_estimator_kwargs
@@ -76,11 +80,10 @@ def build_parser() -> argparse.ArgumentParser:
         backend_default = "invalid $REPRO_BACKEND"
     cluster.add_argument(
         "--backend",
-        choices=available_backends(),
         default=None,
         help=(
             "walk execution engine for randomized estimators "
-            f"(default: {backend_default})"
+            f"(default: {backend_default}; see `repro-cli backends`)"
         ),
     )
     cluster.add_argument("--t", type=float, default=5.0, help="heat constant (default 5)")
@@ -95,6 +98,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     subparsers.add_parser("datasets", help="list built-in benchmark surrogates")
+
+    subparsers.add_parser(
+        "backends", help="list registered walk-execution backends"
+    )
 
     experiment = subparsers.add_parser(
         "experiment", help="run one of the paper's experiments"
@@ -111,6 +118,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _run_cluster(args: argparse.Namespace) -> int:
+    if args.backend is not None:
+        # Validate eagerly so an unknown name fails with the engine's
+        # "expected one of [...]" message before any graph is loaded, even
+        # for methods whose estimator would silently ignore the keyword.
+        get_backend(args.backend)
     if args.dataset:
         graph = load_dataset(args.dataset)
         source = args.dataset
@@ -152,6 +164,33 @@ def _run_datasets(_: argparse.Namespace) -> int:
     return 0
 
 
+def _run_backends(_: argparse.Namespace) -> int:
+    try:
+        default = default_backend_name()
+    except ReproError:
+        default = None
+    rows = [
+        {
+            "backend": name,
+            "default": "*" if name == default else "",
+            "description": description,
+        }
+        for name, description in backend_descriptions().items()
+    ]
+    print(
+        format_rows(
+            rows,
+            columns=["backend", "default", "description"],
+            title="registered walk-execution backends",
+        )
+    )
+    print(
+        "\nselect with --backend, $REPRO_BACKEND, or "
+        "repro.engine.set_default_backend()"
+    )
+    return 0
+
+
 def _run_experiment(args: argparse.Namespace) -> int:
     driver = EXPERIMENTS[args.name]
     kwargs: dict = {}
@@ -173,6 +212,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     handlers = {
         "cluster": _run_cluster,
         "datasets": _run_datasets,
+        "backends": _run_backends,
         "experiment": _run_experiment,
     }
     try:

@@ -13,6 +13,13 @@ independent of the algorithms' correctness, so it lives behind the
 * ``"vectorized"`` (:mod:`repro.engine.vectorized`) — level-synchronous
   NumPy kernels that advance *all* pending walks one hop per iteration with
   CSR fancy-indexing.  The default.
+* ``"parallel"`` (:mod:`repro.engine.parallel`) — a persistent
+  multiprocessing pool running the vectorized kernels on per-worker shards
+  over shared-memory CSR arrays, with independent per-worker RNG streams
+  spawned via ``np.random.SeedSequence`` (reproducible per
+  ``(seed, worker count)``).
+* ``"numba"`` (:mod:`repro.engine.numba_backend`) — JIT-compiled
+  scalar-loop kernels; registered only when :mod:`numba` imports.
 
 A backend must satisfy three invariants (enforced by the parity suite in
 ``tests/test_engine.py``):
@@ -133,8 +140,41 @@ def as_int_array(values) -> np.ndarray:
 
 
 def register_backend(backend: Backend, *, name: str | None = None) -> None:
-    """Add ``backend`` to the registry under ``name`` (default: its own name)."""
+    """Add ``backend`` to the registry under ``name`` (default: its own name).
+
+    Registering an existing name overwrites it.
+    """
     _BACKENDS[name or backend.name] = backend
+
+
+def unregister_backend(name: str) -> Backend:
+    """Remove and return the backend registered under ``name``.
+
+    If ``name`` is the current default, the default resets and is
+    re-resolved (env var, then fallback) on next use.  Primarily for tests
+    and plugin teardown.
+    """
+    global _default_backend_name
+    if name not in _BACKENDS:
+        raise ParameterError(
+            f"unknown backend {name!r}; expected one of {available_backends()}"
+        )
+    if _default_backend_name == name:
+        _default_backend_name = None
+    return _BACKENDS.pop(name)
+
+
+def backend_descriptions() -> dict[str, str]:
+    """Name -> one-line summary for every registered backend (sorted)."""
+    out: dict[str, str] = {}
+    for name in available_backends():
+        backend = _BACKENDS[name]
+        summary = getattr(backend, "description", "")
+        if not summary:
+            doc = (type(backend).__doc__ or "").strip()
+            summary = doc.splitlines()[0] if doc else ""
+        out[name] = summary
+    return out
 
 
 def available_backends() -> list[str]:
@@ -184,6 +224,13 @@ def get_backend(backend: str | Backend | None = None) -> Backend:
                 f"unknown backend {backend!r}; expected one of {available_backends()}"
             )
         return _BACKENDS[backend]
+    # Fail at the call boundary, not deep inside a walk phase: a class
+    # (instead of an instance) or an unrelated object are both mistakes a
+    # caller should hear about as a ParameterError.
+    if isinstance(backend, type) or not isinstance(backend, Backend):
+        raise ParameterError(
+            f"backend must be a name or a Backend instance, got {backend!r}"
+        )
     return backend
 
 
@@ -197,23 +244,38 @@ def use_backend(name: str) -> Iterator[Backend]:
         set_default_backend(previous)
 
 
+from repro.engine.numba_backend import (  # noqa: E402
+    NUMBA_AVAILABLE,
+    NumbaBackend,
+    numba_available,
+)
+from repro.engine.parallel import ParallelBackend  # noqa: E402
 from repro.engine.reference import ReferenceBackend  # noqa: E402
 from repro.engine.vectorized import VectorizedBackend  # noqa: E402
 
 register_backend(ReferenceBackend())
 register_backend(VectorizedBackend())
+register_backend(ParallelBackend())
+if NUMBA_AVAILABLE:
+    register_backend(NumbaBackend())
 
 __all__ = [
     "BACKEND_ENV_VAR",
     "Backend",
+    "NUMBA_AVAILABLE",
+    "NumbaBackend",
+    "ParallelBackend",
     "ReferenceBackend",
     "VectorizedBackend",
     "WALK_CHUNK_SIZE",
     "available_backends",
+    "backend_descriptions",
     "chunk_sizes",
     "default_backend_name",
     "get_backend",
+    "numba_available",
     "register_backend",
     "set_default_backend",
+    "unregister_backend",
     "use_backend",
 ]

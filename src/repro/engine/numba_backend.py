@@ -1,0 +1,222 @@
+"""The optional numba execution backend: JIT-compiled scalar-loop kernels.
+
+The kernels are the scalar per-walk loops of the reference backend written
+against raw CSR arrays, decorated with :func:`numba.njit` so the whole walk
+phase compiles to machine code with no per-hop interpreter cost and no
+level-synchronization overhead (each walk runs to completion in registers).
+
+The module always imports: when :mod:`numba` is missing, ``@njit`` becomes
+a no-op and the kernels run as plain Python, so their logic stays testable
+everywhere.  Only the *registration* is gated — :mod:`repro.engine`
+registers a ``"numba"`` backend if and only if :data:`NUMBA_AVAILABLE` is
+true, and the parity suite skips the statistical numba tests otherwise.
+
+RNG contract: numba's nopython mode supports the legacy ``np.random``
+module (per-process Mersenne Twister state) rather than
+:class:`numpy.random.Generator` streams, so each kernel call draws one seed
+from the caller's generator and reseeds the kernel-local state with it.
+Same caller seed ⇒ same seeds ⇒ byte-identical endpoints, and an empty
+batch draws nothing from the caller's generator — the two halves of the
+determinism contract.  The streams differ from the vectorized backend's,
+which is why parity is checked statistically, not bytewise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.vectorized import _validated_hops, _validated_starts
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit
+
+    NUMBA_AVAILABLE = True
+except ImportError:  # pragma: no cover - depends on the environment
+    NUMBA_AVAILABLE = False
+
+    def njit(*jit_args, **jit_kwargs):
+        """No-op stand-in: the kernels below run as plain Python."""
+        if jit_args and callable(jit_args[0]) and not jit_kwargs:
+            return jit_args[0]
+
+        def wrap(func):
+            return func
+
+        return wrap
+
+
+def numba_available() -> bool:
+    """Whether the JIT compiler imported (and the backend is registered)."""
+    return NUMBA_AVAILABLE
+
+
+def _call_kernel(kernel, *args):
+    """Invoke a kernel without leaking RNG side effects in fallback mode.
+
+    Compiled kernels seed numba's internal per-process state, which nothing
+    else observes.  The plain-Python fallback executes the same
+    ``np.random.seed`` against NumPy's *global* legacy state, so the prior
+    state is saved and restored around the call — the kernel reseeds
+    itself, hence its output does not depend on the saved state.
+    """
+    if NUMBA_AVAILABLE:
+        return kernel(*args)
+    state = np.random.get_state()
+    try:
+        return kernel(*args)
+    finally:
+        np.random.set_state(state)
+
+
+@njit(cache=True)
+def _walk_batch_kernel(indptr, indices, degrees, starts, hops, stop_table, max_hop, seed):
+    np.random.seed(seed)
+    num_walks = starts.shape[0]
+    ends = np.empty(num_walks, dtype=np.int64)
+    total_steps = 0
+    for i in range(num_walks):
+        current = starts[i]
+        hop = hops[i]
+        while True:
+            k = hop if hop < max_hop else max_hop
+            if np.random.random() < stop_table[k]:
+                break
+            if degrees[current] == 0:
+                break
+            current = indices[indptr[current] + np.random.randint(0, degrees[current])]
+            hop += 1
+            total_steps += 1
+        ends[i] = current
+    return ends, total_steps
+
+
+@njit(cache=True)
+def _poisson_walk_kernel(indptr, indices, degrees, starts, t, max_length, seed):
+    np.random.seed(seed)
+    num_walks = starts.shape[0]
+    ends = np.empty(num_walks, dtype=np.int64)
+    total_steps = 0
+    for i in range(num_walks):
+        current = starts[i]
+        remaining = np.random.poisson(t)
+        if max_length >= 0 and remaining > max_length:
+            remaining = max_length
+        while remaining > 0 and degrees[current] > 0:
+            current = indices[indptr[current] + np.random.randint(0, degrees[current])]
+            remaining -= 1
+            total_steps += 1
+        ends[i] = current
+    return ends, total_steps
+
+
+@njit(cache=True)
+def _geometric_walk_kernel(indptr, indices, degrees, starts, alpha, seed):
+    np.random.seed(seed)
+    num_walks = starts.shape[0]
+    ends = np.empty(num_walks, dtype=np.int64)
+    total_steps = 0
+    for i in range(num_walks):
+        current = starts[i]
+        while np.random.random() >= alpha:
+            if degrees[current] == 0:
+                break
+            current = indices[indptr[current] + np.random.randint(0, degrees[current])]
+            total_steps += 1
+        ends[i] = current
+    return ends, total_steps
+
+
+class NumbaBackend:
+    """JIT-compiled scalar walk kernels (registered only when numba imports)."""
+
+    name = "numba"
+    description = (
+        "JIT-compiled scalar-loop kernels over raw CSR arrays (requires "
+        "numba; falls back to plain-Python loops without it)"
+    )
+
+    @staticmethod
+    def _draw_seed(rng: np.random.Generator) -> int:
+        # int32 range: accepted by both numba's and numpy's legacy seed().
+        return int(rng.integers(0, 2**31 - 1))
+
+    def walk_batch(
+        self,
+        graph,
+        start_nodes,
+        hop_offsets,
+        weights,
+        rng,
+        *,
+        counters=None,
+    ) -> np.ndarray:
+        starts = _validated_starts(graph, start_nodes)
+        if starts.size == 0:
+            return starts
+        hops = _validated_hops(starts, hop_offsets)
+        ends, steps = _call_kernel(_walk_batch_kernel,
+            graph.indptr,
+            graph.indices,
+            graph.degrees,
+            starts,
+            hops,
+            weights.stop_probability_array(),
+            weights.max_hop,
+            self._draw_seed(rng),
+        )
+        if counters is not None:
+            counters.random_walks += starts.size
+            counters.walk_steps += int(steps)
+        return ends
+
+    def poisson_walk_batch(
+        self,
+        graph,
+        start_nodes,
+        weights,
+        rng,
+        *,
+        max_length=None,
+        counters=None,
+    ) -> np.ndarray:
+        starts = _validated_starts(graph, start_nodes)
+        if starts.size == 0:
+            return starts
+        ends, steps = _call_kernel(_poisson_walk_kernel,
+            graph.indptr,
+            graph.indices,
+            graph.degrees,
+            starts,
+            float(weights.t),
+            -1 if max_length is None else int(max_length),
+            self._draw_seed(rng),
+        )
+        if counters is not None:
+            counters.random_walks += starts.size
+            counters.walk_steps += int(steps)
+        return ends
+
+    def geometric_walk_batch(
+        self,
+        graph,
+        start_nodes,
+        alpha,
+        rng,
+        *,
+        counters=None,
+    ) -> np.ndarray:
+        starts = _validated_starts(graph, start_nodes)
+        if starts.size == 0:
+            return starts
+        ends, steps = _call_kernel(_geometric_walk_kernel,
+            graph.indptr,
+            graph.indices,
+            graph.degrees,
+            starts,
+            float(alpha),
+            self._draw_seed(rng),
+        )
+        if counters is not None:
+            counters.random_walks += starts.size
+            counters.walk_steps += int(steps)
+        return ends

@@ -48,6 +48,10 @@ class ReferenceBackend:
     """Scalar per-walk execution (the pre-engine code paths)."""
 
     name = "reference"
+    description = (
+        "one scalar Python loop per walk, auditable against the paper's "
+        "pseudo-code (the parity baseline; slow)"
+    )
 
     def walk_batch(
         self,

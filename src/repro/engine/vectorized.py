@@ -42,10 +42,139 @@ def _validated_starts(graph: Graph, start_nodes) -> np.ndarray:
     return starts
 
 
+def _validated_hops(starts: np.ndarray, hop_offsets) -> np.ndarray:
+    """Writable per-walk copy of ``hop_offsets``, rejecting negatives.
+
+    Shared by every batched backend so broadcast and error behaviour
+    cannot diverge between them.
+    """
+    hops = np.broadcast_to(as_int_array(hop_offsets), starts.shape).copy()
+    if (hops < 0).any():
+        bad = int(hops[np.flatnonzero(hops < 0)[0]])
+        raise ParameterError(f"hop offset must be non-negative, got {bad}")
+    return hops
+
+
+def walk_batch_validated(
+    graph,
+    current: np.ndarray,
+    hops: np.ndarray,
+    weights: PoissonWeights,
+    rng: np.random.Generator,
+    *,
+    counters: OperationCounters | None = None,
+) -> np.ndarray:
+    """Hop-conditioned kernel over pre-validated, owned (mutated!) arrays.
+
+    ``current`` and ``hops`` must come from :func:`_validated_starts` /
+    :func:`_validated_hops` (or equivalent); both are advanced in place and
+    ``current`` is returned.  :class:`ParallelBackend` shards call this
+    directly so inputs a parent already validated are not re-scanned.
+    """
+    num_walks = current.size
+    if num_walks == 0:
+        return current
+    indptr, indices = graph.indptr, graph.indices
+    degrees = graph.degrees
+    stop_table = weights.stop_probability_array()
+    max_hop = weights.max_hop
+
+    pending = np.arange(num_walks)
+    total_steps = 0
+    while pending.size:
+        cur = current[pending]
+        stop_prob = stop_table[np.minimum(hops[pending], max_hop)]
+        stop = rng.random(pending.size) < stop_prob
+        stop |= degrees[cur] == 0
+        pending = pending[~stop]
+        if pending.size:
+            cur = current[pending]
+            offsets = rng.integers(0, degrees[cur])
+            current[pending] = indices[indptr[cur] + offsets]
+            hops[pending] += 1
+            total_steps += pending.size
+    if counters is not None:
+        counters.random_walks += num_walks
+        counters.walk_steps += total_steps
+    return current
+
+
+def poisson_walk_batch_validated(
+    graph,
+    current: np.ndarray,
+    weights: PoissonWeights,
+    rng: np.random.Generator,
+    *,
+    max_length: int | None = None,
+    counters: OperationCounters | None = None,
+) -> np.ndarray:
+    """Poisson-length kernel over a pre-validated, owned (mutated!) array."""
+    num_walks = current.size
+    if num_walks == 0:
+        return current
+    indptr, indices = graph.indptr, graph.indices
+    degrees = graph.degrees
+
+    remaining = rng.poisson(weights.t, size=num_walks).astype(np.int64)
+    if max_length is not None:
+        np.minimum(remaining, max_length, out=remaining)
+
+    pending = np.flatnonzero((remaining > 0) & (degrees[current] > 0))
+    total_steps = 0
+    while pending.size:
+        cur = current[pending]
+        offsets = rng.integers(0, degrees[cur])
+        nxt = indices[indptr[cur] + offsets]
+        current[pending] = nxt
+        remaining[pending] -= 1
+        total_steps += pending.size
+        pending = pending[(remaining[pending] > 0) & (degrees[nxt] > 0)]
+    if counters is not None:
+        counters.random_walks += num_walks
+        counters.walk_steps += total_steps
+    return current
+
+
+def geometric_walk_batch_validated(
+    graph,
+    current: np.ndarray,
+    alpha: float,
+    rng: np.random.Generator,
+    *,
+    counters: OperationCounters | None = None,
+) -> np.ndarray:
+    """Restart-probability kernel over a pre-validated, owned (mutated!) array."""
+    num_walks = current.size
+    if num_walks == 0:
+        return current
+    indptr, indices = graph.indptr, graph.indices
+    degrees = graph.degrees
+
+    pending = np.arange(num_walks)
+    total_steps = 0
+    while pending.size:
+        stop = rng.random(pending.size) < alpha
+        stop |= degrees[current[pending]] == 0
+        pending = pending[~stop]
+        if pending.size:
+            cur = current[pending]
+            offsets = rng.integers(0, degrees[cur])
+            current[pending] = indices[indptr[cur] + offsets]
+            total_steps += pending.size
+    if counters is not None:
+        counters.random_walks += num_walks
+        counters.walk_steps += total_steps
+    return current
+
+
 class VectorizedBackend:
     """Batched CSR walk kernels (the default backend)."""
 
     name = "vectorized"
+    description = (
+        "level-synchronous NumPy kernels advancing all pending walks one "
+        "hop per iteration (the default)"
+    )
 
     def walk_batch(
         self,
@@ -58,38 +187,12 @@ class VectorizedBackend:
         counters: OperationCounters | None = None,
     ) -> np.ndarray:
         current = _validated_starts(graph, start_nodes)
-        num_walks = current.size
-        if num_walks == 0:
+        if current.size == 0:
             return current
-        hops = np.broadcast_to(
-            as_int_array(hop_offsets), current.shape
-        ).copy()
-        if (hops < 0).any():
-            bad = int(hops[np.flatnonzero(hops < 0)[0]])
-            raise ParameterError(f"hop offset must be non-negative, got {bad}")
-        indptr, indices = graph.indptr, graph.indices
-        degrees = graph.degrees
-        stop_table = weights.stop_probability_array()
-        max_hop = weights.max_hop
-
-        pending = np.arange(num_walks)
-        total_steps = 0
-        while pending.size:
-            cur = current[pending]
-            stop_prob = stop_table[np.minimum(hops[pending], max_hop)]
-            stop = rng.random(pending.size) < stop_prob
-            stop |= degrees[cur] == 0
-            pending = pending[~stop]
-            if pending.size:
-                cur = current[pending]
-                offsets = rng.integers(0, degrees[cur])
-                current[pending] = indices[indptr[cur] + offsets]
-                hops[pending] += 1
-                total_steps += pending.size
-        if counters is not None:
-            counters.random_walks += num_walks
-            counters.walk_steps += total_steps
-        return current
+        hops = _validated_hops(current, hop_offsets)
+        return walk_batch_validated(
+            graph, current, hops, weights, rng, counters=counters
+        )
 
     def poisson_walk_batch(
         self,
@@ -102,30 +205,9 @@ class VectorizedBackend:
         counters: OperationCounters | None = None,
     ) -> np.ndarray:
         current = _validated_starts(graph, start_nodes)
-        num_walks = current.size
-        if num_walks == 0:
-            return current
-        indptr, indices = graph.indptr, graph.indices
-        degrees = graph.degrees
-
-        remaining = rng.poisson(weights.t, size=num_walks).astype(np.int64)
-        if max_length is not None:
-            np.minimum(remaining, max_length, out=remaining)
-
-        pending = np.flatnonzero((remaining > 0) & (degrees[current] > 0))
-        total_steps = 0
-        while pending.size:
-            cur = current[pending]
-            offsets = rng.integers(0, degrees[cur])
-            nxt = indices[indptr[cur] + offsets]
-            current[pending] = nxt
-            remaining[pending] -= 1
-            total_steps += pending.size
-            pending = pending[(remaining[pending] > 0) & (degrees[nxt] > 0)]
-        if counters is not None:
-            counters.random_walks += num_walks
-            counters.walk_steps += total_steps
-        return current
+        return poisson_walk_batch_validated(
+            graph, current, weights, rng, max_length=max_length, counters=counters
+        )
 
     def geometric_walk_batch(
         self,
@@ -137,24 +219,6 @@ class VectorizedBackend:
         counters: OperationCounters | None = None,
     ) -> np.ndarray:
         current = _validated_starts(graph, start_nodes)
-        num_walks = current.size
-        if num_walks == 0:
-            return current
-        indptr, indices = graph.indptr, graph.indices
-        degrees = graph.degrees
-
-        pending = np.arange(num_walks)
-        total_steps = 0
-        while pending.size:
-            stop = rng.random(pending.size) < alpha
-            stop |= degrees[current[pending]] == 0
-            pending = pending[~stop]
-            if pending.size:
-                cur = current[pending]
-                offsets = rng.integers(0, degrees[cur])
-                current[pending] = indices[indptr[cur] + offsets]
-                total_steps += pending.size
-        if counters is not None:
-            counters.random_walks += num_walks
-            counters.walk_steps += total_steps
-        return current
+        return geometric_walk_batch_validated(
+            graph, current, alpha, rng, counters=counters
+        )

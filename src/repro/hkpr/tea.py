@@ -27,16 +27,14 @@ from __future__ import annotations
 import math
 import time
 
-import numpy as np
-
-from repro.engine import Backend, chunk_sizes, get_backend
+from repro.engine import Backend, get_backend
 from repro.exceptions import ParameterError
 from repro.graph.graph import Graph
-from repro.hkpr.alias import AliasSampler
 from repro.hkpr.hk_push import hk_push
 from repro.hkpr.params import HKPRParams
 from repro.hkpr.poisson import PoissonWeights
 from repro.hkpr.result import HKPRResult
+from repro.hkpr.walk_phase import run_residue_walk_phase
 from repro.utils.counters import OperationCounters
 from repro.utils.rng import RandomState, ensure_rng
 
@@ -109,27 +107,17 @@ def tea(
         if max_walks is not None:
             num_walks = min(num_walks, max_walks)
         if num_walks > 0:
-            sampler = AliasSampler(entries, [value for _, _, value in entries])
-            start_nodes = np.fromiter(
-                (node for _, node, _ in entries), np.int64, count=len(entries)
+            run_residue_walk_phase(
+                graph,
+                entries,
+                num_walks,
+                alpha / num_walks,
+                engine=engine,
+                weights=weights,
+                rng=generator,
+                estimates=estimates,
+                counters=counters,
             )
-            start_hops = np.fromiter(
-                (hop for hop, _, _ in entries), np.int64, count=len(entries)
-            )
-            increment = alpha / num_walks
-            # Chunked so the walk phase stays bounded-memory at the
-            # theory-driven (omega-scale) walk counts.
-            for batch in chunk_sizes(num_walks):
-                picks = sampler.sample_indices(batch, generator)
-                end_nodes = engine.walk_batch(
-                    graph,
-                    start_nodes[picks],
-                    start_hops[picks],
-                    weights,
-                    generator,
-                    counters=counters,
-                )
-                estimates.add_many(end_nodes, increment)
 
     counters.reserve_entries = max(counters.reserve_entries, estimates.nnz())
     elapsed = time.perf_counter() - start

@@ -1,0 +1,61 @@
+"""The residue-driven walk phase shared by TEA and TEA+ (Lines 12-17).
+
+Both estimators finish identically: sample walk-starting residue entries
+``(hop, node)`` proportionally to their residue values, run one
+hop-conditioned heat kernel walk per sample through the active execution
+backend, and add a fixed increment to the estimate at every endpoint.
+Factored here so the chunking, sampling and accumulation logic exists
+once (and a fix to it cannot silently diverge between the two).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine import Backend, chunk_sizes
+from repro.graph.graph import Graph
+from repro.hkpr.alias import AliasSampler
+from repro.hkpr.poisson import PoissonWeights
+from repro.utils.counters import OperationCounters
+from repro.utils.sparsevec import SparseVector
+
+
+def run_residue_walk_phase(
+    graph: Graph,
+    entries: list[tuple[int, int, float]],
+    num_walks: int,
+    increment: float,
+    *,
+    engine: Backend,
+    weights: PoissonWeights,
+    rng: np.random.Generator,
+    estimates: SparseVector,
+    counters: OperationCounters | None = None,
+) -> None:
+    """Run ``num_walks`` residue-sampled walks, accumulating into ``estimates``.
+
+    ``entries`` are the non-zero residue entries as ``(hop, node, value)``
+    triples; walk starts are drawn proportionally to ``value`` via an alias
+    structure, and each walk ending at ``v`` adds ``increment`` to
+    ``estimates[v]``.  The loop is chunked (:func:`repro.engine.chunk_sizes`)
+    so the phase stays bounded-memory at theory-driven (omega-scale) walk
+    counts.
+    """
+    start_nodes = np.fromiter(
+        (node for _, node, _ in entries), np.int64, count=len(entries)
+    )
+    start_hops = np.fromiter(
+        (hop for hop, _, _ in entries), np.int64, count=len(entries)
+    )
+    sampler = AliasSampler(start_nodes, [value for _, _, value in entries])
+    for batch in chunk_sizes(num_walks):
+        picks = sampler.sample_indices(batch, rng)
+        end_nodes = engine.walk_batch(
+            graph,
+            start_nodes[picks],
+            start_hops[picks],
+            weights,
+            rng,
+            counters=counters,
+        )
+        estimates.add_many(end_nodes, increment)

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.cli import EXPERIMENTS, build_parser, main
@@ -111,3 +113,59 @@ class TestCommands:
         assert code == 0
         output = capsys.readouterr().out
         assert "tea+" in output
+
+
+class TestBackendsCommand:
+    def test_backends_lists_every_registered_backend(self, capsys):
+        from repro.engine import available_backends, default_backend_name
+
+        assert main(["backends"]) == 0
+        output = capsys.readouterr().out
+        for name in available_backends():
+            assert name in output
+        # The default backend is starred.
+        assert default_backend_name() in output
+        assert "*" in output
+        assert "REPRO_BACKEND" in output
+
+
+class TestClusterBackendSelection:
+    def _cluster_args(self, *extra):
+        return [
+            "cluster", "--dataset", "grid3d-sim", "--seed-node", "5",
+            "--method", "tea+", "--rng", "1", *extra,
+        ]
+
+    def test_unknown_backend_is_a_clean_error_not_a_traceback(self, capsys):
+        code = main(self._cluster_args("--backend", "no-such-backend"))
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "error:" in captured.err
+        assert "unknown backend" in captured.err
+        assert "vectorized" in captured.err  # lists the available ones
+        assert "Traceback" not in captured.err
+
+    def test_unknown_backend_rejected_even_for_backendless_methods(self, capsys):
+        # hk-relax has no walk phase; the CLI must still validate eagerly.
+        code = main(
+            [
+                "cluster", "--dataset", "grid3d-sim", "--seed-node", "5",
+                "--method", "hk-relax", "--backend", "bogus",
+            ]
+        )
+        assert code == 2
+        assert "unknown backend" in capsys.readouterr().err
+
+    def test_cluster_backend_reference(self, capsys):
+        code = main(self._cluster_args("--backend", "reference"))
+        assert code == 0
+        assert "backend         : reference" in capsys.readouterr().out
+
+    @pytest.mark.skipif(
+        (os.cpu_count() or 1) < 2,
+        reason="parallel CLI run needs more than one CPU to be meaningful",
+    )
+    def test_cluster_backend_parallel(self, capsys):
+        code = main(self._cluster_args("--backend", "parallel"))
+        assert code == 0
+        assert "backend         : parallel" in capsys.readouterr().out

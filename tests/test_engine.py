@@ -1,30 +1,45 @@
 """Tests for the execution-engine layer (:mod:`repro.engine`).
 
-Three groups:
+Four groups:
 
-* registry behaviour (default selection, overrides, unknown names),
-* unit tests for each batched kernel and the bulk-accumulation primitives
-  (``SparseVector.add_many``, ``AliasSampler.sample_batch``) on edge cases,
-* the backend-parity suite: reference and vectorized backends must produce
-  identical supports and statistically equivalent estimates for TEA, TEA+,
-  Monte-Carlo and FORA on three generator graphs.
+* registry behaviour (default selection, overrides, unknown names,
+  re-registration, teardown),
+* the deterministic backend contract (counter accounting and shape
+  discipline via :mod:`statcheck`), parametrized over **every registered
+  backend** plus a pool-forced parallel instance — a new backend is tested
+  by registration alone,
+* unit tests for the batched kernels and bulk-accumulation primitives on
+  edge cases,
+* the statistical parity suite (marked ``statistical``): chi-square
+  goodness-of-fit of every kernel and of the TEA / TEA+ / Monte-Carlo /
+  FORA walk phases against the exact HKPR/PPR laws, for every backend.
 """
 
 from __future__ import annotations
 
+import functools
+
 import numpy as np
 import pytest
+
+import statcheck
 
 import repro.engine as engine_module
 from repro.engine import (
     BACKEND_ENV_VAR,
+    NumbaBackend,
+    ParallelBackend,
     ReferenceBackend,
     VectorizedBackend,
     available_backends,
+    backend_descriptions,
     chunk_sizes,
     default_backend_name,
     get_backend,
+    numba_available,
+    register_backend,
     set_default_backend,
+    unregister_backend,
     use_backend,
 )
 from repro.exceptions import ParameterError
@@ -39,14 +54,46 @@ from repro.hkpr.alias import AliasSampler
 from repro.hkpr.monte_carlo import monte_carlo_hkpr
 from repro.hkpr.params import HKPRParams
 from repro.hkpr.poisson import PoissonWeights
-from repro.hkpr.tea import tea
-from repro.hkpr.tea_plus import tea_plus
-from repro.ppr.fora import fora
 from repro.utils.counters import OperationCounters
 from repro.utils.sparsevec import SparseVector
 
-BACKENDS = [ReferenceBackend(), VectorizedBackend()]
-BACKEND_IDS = [backend.name for backend in BACKENDS]
+
+def _contract_backends() -> list[tuple[str, object]]:
+    """Every registered backend, plus instances covering gated code paths.
+
+    * ``parallel-pool`` forces the multiprocessing path even for tiny
+      batches and on single-CPU hosts (the registered ``parallel`` backend
+      may resolve to one worker and run inline there).
+    * ``numba-python`` covers the numba kernels' plain-Python fallback when
+      the JIT is not installed (when it is, the registered ``numba``
+      backend exercises the same functions compiled).
+    """
+    pairs = [(name, get_backend(name)) for name in available_backends()]
+    pairs.append(
+        ("parallel-pool", ParallelBackend(num_workers=2, min_parallel_batch=1))
+    )
+    if not numba_available():
+        pairs.append(("numba-python", NumbaBackend()))
+    return pairs
+
+
+_PAIRS = _contract_backends()
+BACKEND_IDS = [pair[0] for pair in _PAIRS]
+BACKENDS = [pair[1] for pair in _PAIRS]
+
+
+@functools.lru_cache(maxsize=None)
+def parity_graph(name: str) -> Graph:
+    if name == "powerlaw":
+        return powerlaw_cluster_graph(60, 3, 0.4, seed=7)
+    if name == "grid3d":
+        return grid_3d_graph(3, 3, 3)
+    if name == "complete":
+        return complete_graph(16)
+    raise AssertionError(name)
+
+
+PARITY_GRAPHS = ("powerlaw", "grid3d")
 
 
 @pytest.fixture
@@ -58,8 +105,11 @@ def weights() -> PoissonWeights:
 # Registry
 # ---------------------------------------------------------------------- #
 class TestRegistry:
-    def test_both_backends_registered(self):
-        assert {"reference", "vectorized"} <= set(available_backends())
+    def test_core_backends_registered(self):
+        assert {"reference", "vectorized", "parallel"} <= set(available_backends())
+
+    def test_numba_registered_iff_importable(self):
+        assert ("numba" in available_backends()) == numba_available()
 
     def test_default_is_vectorized(self):
         assert default_backend_name() == "vectorized"
@@ -67,14 +117,58 @@ class TestRegistry:
 
     def test_get_by_name_and_instance(self):
         assert get_backend("reference").name == "reference"
+        assert get_backend("parallel").name == "parallel"
         backend = ReferenceBackend()
         assert get_backend(backend) is backend
 
-    def test_unknown_name_rejected(self):
-        with pytest.raises(ParameterError):
+    def test_instance_bypasses_registry(self):
+        # An unregistered instance resolves to itself — per-call injection
+        # does not require registration, and nothing is added to the registry.
+        before = available_backends()
+        backend = ParallelBackend(num_workers=1)
+        assert get_backend(backend) is backend
+        assert available_backends() == before
+
+    def test_non_backend_objects_rejected_at_the_boundary(self):
+        # A class instead of an instance, or an unrelated object, must fail
+        # here with ParameterError — not deep inside a walk phase.
+        for bad in (VectorizedBackend, 42, object()):
+            with pytest.raises(ParameterError):
+                get_backend(bad)
+
+    def test_unknown_name_rejected_with_available_list(self):
+        with pytest.raises(ParameterError) as excinfo:
             get_backend("no-such-backend")
+        for name in available_backends():
+            assert name in str(excinfo.value)
         with pytest.raises(ParameterError):
             set_default_backend("no-such-backend")
+
+    def test_reregistering_a_name_overwrites(self):
+        first = ReferenceBackend()
+        second = ReferenceBackend()
+        register_backend(first, name="tmp-overwrite")
+        try:
+            register_backend(second, name="tmp-overwrite")
+            assert get_backend("tmp-overwrite") is second
+        finally:
+            unregister_backend("tmp-overwrite")
+        assert "tmp-overwrite" not in available_backends()
+
+    def test_unregister_unknown_name_rejected(self):
+        with pytest.raises(ParameterError):
+            unregister_backend("tmp-never-registered")
+
+    def test_unregistering_default_resets_resolution(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        register_backend(VectorizedBackend(), name="tmp-default")
+        set_default_backend("tmp-default")
+        try:
+            assert default_backend_name() == "tmp-default"
+        finally:
+            unregister_backend("tmp-default")
+        # The default falls back to the documented fallback resolution.
+        assert default_backend_name() == "vectorized"
 
     def test_set_default_returns_previous_and_use_backend_restores(self):
         previous = set_default_backend("reference")
@@ -88,14 +182,31 @@ class TestRegistry:
         finally:
             set_default_backend("vectorized")
 
-    def test_set_default_recovers_from_invalid_env_var(self, monkeypatch):
+    def test_use_backend_restores_even_when_body_raises(self):
+        assert default_backend_name() == "vectorized"
+        with pytest.raises(RuntimeError):
+            with use_backend("reference"):
+                assert default_backend_name() == "reference"
+                raise RuntimeError("boom")
+        assert default_backend_name() == "vectorized"
+
+    def test_invalid_env_var_error_lists_all_backends(self, monkeypatch):
         monkeypatch.setenv(BACKEND_ENV_VAR, "bogus")
         monkeypatch.setattr(engine_module, "_default_backend_name", None)
-        with pytest.raises(ParameterError):
+        with pytest.raises(ParameterError) as excinfo:
             default_backend_name()
+        message = str(excinfo.value)
+        assert "bogus" in message
+        for name in ("parallel", "reference", "vectorized"):
+            assert name in message
         # An explicit override must still be possible.
         set_default_backend("vectorized")
         assert default_backend_name() == "vectorized"
+
+    def test_backend_descriptions_cover_registry(self):
+        descriptions = backend_descriptions()
+        assert sorted(descriptions) == available_backends()
+        assert all(descriptions.values())
 
     def test_chunk_sizes(self):
         assert list(chunk_sizes(0, 10)) == []
@@ -105,7 +216,6 @@ class TestRegistry:
             list(chunk_sizes(5, 0))
 
     def test_chunked_walk_phase_preserves_walk_count_and_mass(self, monkeypatch):
-        from repro.hkpr.monte_carlo import monte_carlo_hkpr
         from repro.hkpr.params import HKPRParams as Params
 
         monkeypatch.setattr(engine_module, "WALK_CHUNK_SIZE", 7)
@@ -118,43 +228,28 @@ class TestRegistry:
 
 
 # ---------------------------------------------------------------------- #
-# Kernel unit tests (parametrized over both backends)
+# The deterministic backend contract, for every backend
+# ---------------------------------------------------------------------- #
+@pytest.mark.parametrize("backend", BACKENDS, ids=BACKEND_IDS)
+class TestBackendContract:
+    def test_counter_accounting(self, backend):
+        statcheck.check_counter_accounting(backend)
+
+    def test_shape_discipline(self, backend):
+        statcheck.check_shape_discipline(backend)
+
+
+# ---------------------------------------------------------------------- #
+# Kernel unit tests (parametrized over every backend)
 # ---------------------------------------------------------------------- #
 @pytest.mark.parametrize("backend", BACKENDS, ids=BACKEND_IDS)
 class TestWalkBatchKernels:
-    def test_empty_batch_returns_empty_and_draws_nothing(self, backend, weights):
-        graph = ring_graph(6)
-        rng = np.random.default_rng(0)
-        empty = np.empty(0, dtype=np.int64)
-        for ends in (
-            backend.walk_batch(graph, empty, empty, weights, rng),
-            backend.poisson_walk_batch(graph, empty, weights, rng),
-            backend.geometric_walk_batch(graph, empty, 0.2, rng),
-        ):
-            assert ends.size == 0
-        # No random draws were consumed by any of the empty batches.
-        assert rng.random() == np.random.default_rng(0).random()
-
     def test_single_walk_batch(self, backend, weights):
         graph = ring_graph(8)
         rng = np.random.default_rng(1)
         ends = backend.walk_batch(graph, np.array([3]), np.array([0]), weights, rng)
         assert ends.shape == (1,)
         assert graph.has_node(int(ends[0]))
-
-    def test_isolated_start_stays_put(self, backend, weights):
-        graph = Graph(4, [(1, 2)])
-        rng = np.random.default_rng(2)
-        counters = OperationCounters()
-        starts = np.zeros(20, dtype=np.int64)
-        assert (
-            backend.walk_batch(graph, starts, starts, weights, rng, counters=counters)
-            == 0
-        ).all()
-        assert (backend.poisson_walk_batch(graph, starts, weights, rng) == 0).all()
-        assert (backend.geometric_walk_batch(graph, starts, 0.2, rng) == 0).all()
-        assert counters.random_walks == 20
-        assert counters.walk_steps == 0
 
     def test_hop_offset_beyond_truncation_stays_put(self, backend, weights):
         graph = ring_graph(10)
@@ -163,96 +258,113 @@ class TestWalkBatchKernels:
         hops = np.full(15, weights.max_hop + 3, dtype=np.int64)
         assert (backend.walk_batch(graph, starts, hops, weights, rng) == 4).all()
 
-    def test_invalid_start_nodes_rejected(self, backend, weights):
-        graph = ring_graph(6)
-        rng = np.random.default_rng(8)
-        for bad in (np.array([-1]), np.array([6]), np.array([2, 99, 3])):
-            with pytest.raises(ParameterError):
-                backend.walk_batch(graph, bad, np.zeros_like(bad), weights, rng)
-            with pytest.raises(ParameterError):
-                backend.poisson_walk_batch(graph, bad, weights, rng)
-            with pytest.raises(ParameterError):
-                backend.geometric_walk_batch(graph, bad, 0.2, rng)
-
     def test_negative_hop_offset_rejected(self, backend, weights):
         graph = ring_graph(6)
         rng = np.random.default_rng(9)
         with pytest.raises(ParameterError):
             backend.walk_batch(graph, np.array([0]), np.array([-1]), weights, rng)
 
-    def test_scalar_hop_offset_broadcasts(self, backend, weights):
-        graph = complete_graph(6)
-        rng = np.random.default_rng(4)
-        ends = backend.walk_batch(
-            graph, np.zeros(10, dtype=np.int64), 0, weights, rng
-        )
-        assert ends.shape == (10,)
-
-    def test_poisson_max_length_zero_truncates_everything(self, backend, weights):
+    def test_poisson_max_length_truncates(self, backend, weights):
         graph = complete_graph(5)
         rng = np.random.default_rng(5)
         counters = OperationCounters()
         starts = np.full(30, 2, dtype=np.int64)
-        ends = backend.poisson_walk_batch(
-            graph, starts, weights, rng, max_length=0, counters=counters
+        backend.poisson_walk_batch(
+            graph, starts, weights, rng, max_length=2, counters=counters
         )
-        assert (ends == 2).all()
-        assert counters.walk_steps == 0
+        assert counters.walk_steps <= 2 * 30
 
-    def test_counters_account_for_walks_and_steps(self, backend, weights):
-        graph = complete_graph(12)
-        rng = np.random.default_rng(6)
+
+class TestParallelBackendSpecifics:
+    def test_records_worker_count_and_execution_mode(self, weights):
+        graph = ring_graph(20)
+        backend = ParallelBackend(num_workers=2, min_parallel_batch=1)
         counters = OperationCounters()
         backend.walk_batch(
             graph,
-            np.zeros(200, dtype=np.int64),
-            np.zeros(200, dtype=np.int64),
+            np.zeros(64, dtype=np.int64),
+            0,
             weights,
-            rng,
+            np.random.default_rng(0),
             counters=counters,
         )
-        assert counters.random_walks == 200
-        # Lemma 4: expected walk length is at most t = 5.
-        assert 0 < counters.walk_steps / 200 < 7.0
+        assert counters.extras["walk_workers"] == 2
+        assert counters.extras["walk_execution"] == "pool"
 
-    def test_geometric_mean_length_matches_alpha(self, backend):
-        alpha = 0.25
-        graph = complete_graph(10)
-        rng = np.random.default_rng(7)
+    def test_small_batches_run_inline(self, weights):
+        graph = ring_graph(20)
+        backend = ParallelBackend(num_workers=2, min_parallel_batch=10**9)
         counters = OperationCounters()
-        backend.geometric_walk_batch(
-            graph, np.zeros(3000, dtype=np.int64), alpha, rng, counters=counters
+        backend.walk_batch(
+            graph,
+            np.zeros(64, dtype=np.int64),
+            0,
+            weights,
+            np.random.default_rng(0),
+            counters=counters,
         )
-        # Geometric number of moves has mean (1 - alpha) / alpha = 3.
-        assert counters.walk_steps / 3000 == pytest.approx(3.0, rel=0.15)
+        assert counters.extras["walk_execution"] == "inline"
 
+    def test_pool_and_inline_paths_are_byte_identical(self, weights):
+        """min_parallel_batch is a pure performance knob, never a result knob."""
+        graph = powerlaw_cluster_graph(40, 3, 0.3, seed=5)
+        pooled = ParallelBackend(num_workers=2, min_parallel_batch=1)
+        inline = ParallelBackend(num_workers=2, min_parallel_batch=10**9)
+        starts = np.zeros(512, dtype=np.int64)
+        for kernel in ("walk", "poisson", "geometric"):
+            rng_a = np.random.default_rng(11)
+            rng_b = np.random.default_rng(11)
+            if kernel == "walk":
+                a = pooled.walk_batch(graph, starts, 0, weights, rng_a)
+                b = inline.walk_batch(graph, starts, 0, weights, rng_b)
+            elif kernel == "poisson":
+                a = pooled.poisson_walk_batch(graph, starts, weights, rng_a)
+                b = inline.poisson_walk_batch(graph, starts, weights, rng_b)
+            else:
+                a = pooled.geometric_walk_batch(graph, starts, 0.2, rng_a)
+                b = inline.geometric_walk_batch(graph, starts, 0.2, rng_b)
+            assert np.array_equal(a, b), kernel
 
-class TestVectorizedDistributions:
-    """The vectorized kernels reproduce the scalar walk distributions."""
-
-    def test_walk_batch_two_node_distribution(self):
-        # On a single edge, P(end at start) = e^{-t} cosh(t).
-        import math
-
-        t = 2.0
-        weights = PoissonWeights(t)
-        graph = Graph(2, [(0, 1)])
-        rng = np.random.default_rng(11)
-        ends = VectorizedBackend().walk_batch(
-            graph, np.zeros(20000, dtype=np.int64), 0, weights, rng
+    def test_more_workers_than_walks(self, weights):
+        graph = ring_graph(12)
+        backend = ParallelBackend(num_workers=4, min_parallel_batch=1)
+        ends = backend.walk_batch(
+            graph, np.zeros(2, dtype=np.int64), 0, weights, np.random.default_rng(1)
         )
-        expected = math.exp(-t) * math.cosh(t)
-        assert (ends == 0).mean() == pytest.approx(expected, abs=0.02)
+        assert ends.shape == (2,)
 
-    def test_poisson_batch_mean_length_is_t(self):
-        weights = PoissonWeights(4.0)
-        graph = complete_graph(30)
-        rng = np.random.default_rng(12)
-        counters = OperationCounters()
-        VectorizedBackend().poisson_walk_batch(
-            graph, np.zeros(4000, dtype=np.int64), weights, rng, counters=counters
-        )
-        assert counters.walk_steps / 4000 == pytest.approx(4.0, abs=0.3)
+    def test_invalid_worker_counts_rejected(self):
+        with pytest.raises(ParameterError):
+            ParallelBackend(num_workers=0)
+        with pytest.raises(ParameterError):
+            ParallelBackend(min_parallel_batch=0)
+
+    def test_invalid_workers_env_var_rejected(self, monkeypatch):
+        from repro.engine.parallel import WORKERS_ENV_VAR, default_worker_count
+
+        for bogus in ("zero", "-3", "0"):
+            monkeypatch.setenv(WORKERS_ENV_VAR, bogus)
+            with pytest.raises(ParameterError):
+                default_worker_count()
+        monkeypatch.setenv(WORKERS_ENV_VAR, "3")
+        assert default_worker_count() == 3
+        assert ParallelBackend().num_workers == 3
+
+    def test_shared_graph_cache_reused_and_released(self, weights):
+        import gc
+
+        from repro.engine.parallel import _SHARED_GRAPHS, _shared_meta
+
+        graph = ring_graph(30)
+        meta_a = _shared_meta(graph)
+        meta_b = _shared_meta(graph)
+        assert meta_a is not None
+        assert meta_a["token"] == meta_b["token"]
+        assert id(graph) in _SHARED_GRAPHS
+        del graph
+        gc.collect()
+        tokens = {entry[1].token for entry in _SHARED_GRAPHS.values()}
+        assert meta_a["token"] not in tokens
 
 
 # ---------------------------------------------------------------------- #
@@ -324,84 +436,103 @@ class TestSampleBatch:
 
 
 # ---------------------------------------------------------------------- #
-# Backend parity: reference vs vectorized on three generator graphs
+# Statistical parity: every backend against the exact laws
 # ---------------------------------------------------------------------- #
-PARITY_GRAPHS = {
-    "powerlaw": lambda: powerlaw_cluster_graph(60, 3, 0.4, seed=7),
-    "grid3d": lambda: grid_3d_graph(3, 3, 3),
-    "complete": lambda: complete_graph(16),
-}
-
-
-def _run_estimator(name: str, graph, backend_name: str):
-    params = HKPRParams(t=5.0, eps_r=0.5, delta=1.0 / graph.num_nodes, p_f=1e-6)
-    if name == "tea":
-        return tea(
-            graph, 0, params, r_max=10.0, rng=99, max_walks=6000, backend=backend_name
+@pytest.mark.statistical
+@pytest.mark.parametrize("backend", BACKENDS, ids=BACKEND_IDS)
+class TestKernelDistributions:
+    def test_kernels_match_exact_laws_powerlaw(self, backend):
+        statcheck.check_kernel_distributions(
+            backend, parity_graph("powerlaw"), num_walks=12_000
         )
-    if name == "tea+":
-        # A tiny push budget and no residue reduction guarantee the walk
-        # phase actually runs on every parity graph (no Theorem-2 exit).
-        return tea_plus(
+
+    def test_kernels_match_exact_laws_with_dangling_node(self, backend, weights):
+        # A graph with an isolated node: walks reaching nowhere must match
+        # the absorbing-law treatment of transition_matrix.
+        graph = Graph(5, [(0, 1), (1, 2), (2, 0), (0, 3)])
+        statcheck.check_kernel_distributions(
+            backend, graph, weights=weights, hops=(0, 1), num_walks=8000, seed=99
+        )
+
+
+@pytest.mark.statistical
+@pytest.mark.slow
+@pytest.mark.parametrize("graph_name", PARITY_GRAPHS)
+@pytest.mark.parametrize("estimator", statcheck.ESTIMATOR_CHECKS)
+@pytest.mark.parametrize("backend", BACKENDS, ids=BACKEND_IDS)
+class TestEstimatorWalkParity:
+    def test_walk_phase_matches_exact_law(self, backend, estimator, graph_name):
+        statcheck.check_estimator_walk_parity(
+            estimator, parity_graph(graph_name), backend
+        )
+
+
+@pytest.mark.statistical
+@pytest.mark.parametrize("backend", BACKENDS, ids=BACKEND_IDS)
+class TestCrossBackendParity:
+    """Every backend agrees with the reference backend's estimator output."""
+
+    def test_supports_and_mass_match_reference(self, backend):
+        graph = parity_graph("complete")
+        reference = monte_carlo_hkpr(
             graph,
             0,
-            HKPRParams(t=5.0, eps_r=0.2, delta=1e-4, p_f=1e-6),
+            HKPRParams(t=5.0, eps_r=0.5, delta=1 / 16, p_f=1e-6),
             rng=99,
-            max_walks=6000,
-            push_budget=5,
-            apply_residue_reduction=False,
-            backend=backend_name,
+            num_walks=6000,
+            backend="reference",
         )
-    if name == "monte-carlo":
-        return monte_carlo_hkpr(
-            graph, 0, params, rng=99, num_walks=6000, backend=backend_name
+        other = monte_carlo_hkpr(
+            graph,
+            0,
+            HKPRParams(t=5.0, eps_r=0.5, delta=1 / 16, p_f=1e-6),
+            rng=99,
+            num_walks=6000,
+            backend=backend,
         )
-    if name == "fora":
-        return fora(
-            graph, 0, alpha=0.2, eps_r=0.5, rng=99, max_walks=6000, backend=backend_name
-        )
-    raise AssertionError(name)
-
-
-@pytest.mark.parametrize("graph_name", sorted(PARITY_GRAPHS))
-@pytest.mark.parametrize("estimator", ["tea", "tea+", "monte-carlo", "fora"])
-class TestBackendParity:
-    def test_supports_identical_and_estimates_equivalent(self, estimator, graph_name):
-        graph = PARITY_GRAPHS[graph_name]()
-        reference = _run_estimator(estimator, graph, "reference")
-        vectorized = _run_estimator(estimator, graph, "vectorized")
-
-        # The walk phase must actually have run, otherwise this parity
-        # check would be vacuous (the push phase is deterministic).
-        assert reference.counters.random_walks > 0
-        assert vectorized.counters.random_walks > 0
-        assert reference.counters.extras["backend"] == "reference"
-        assert vectorized.counters.extras["backend"] == "vectorized"
-
-        # Identical supports: with thousands of walks on these small,
-        # low-diameter graphs every reachable node receives mass under
-        # either backend (fixed seeds keep this deterministic).
-        assert set(reference.support()) == set(vectorized.support())
-
-        # Statistically equivalent values: KS-style bound on the maximum
-        # pointwise deviation plus agreement of the total mass.
+        assert reference.counters.random_walks == other.counters.random_walks
+        assert set(reference.support()) == set(other.support())
         dense_ref = reference.to_dense(graph)
-        dense_vec = vectorized.to_dense(graph)
-        assert np.max(np.abs(dense_ref - dense_vec)) < 0.05
-        assert dense_ref.sum() == pytest.approx(dense_vec.sum(), abs=0.05)
-
-    def test_same_seed_same_backend_is_deterministic(self, estimator, graph_name):
-        graph = PARITY_GRAPHS[graph_name]()
-        a = _run_estimator(estimator, graph, "vectorized")
-        b = _run_estimator(estimator, graph, "vectorized")
-        assert a.estimates.to_dict() == b.estimates.to_dict()
-
-    def test_walk_counters_match_across_backends(self, estimator, graph_name):
-        graph = PARITY_GRAPHS[graph_name]()
-        reference = _run_estimator(estimator, graph, "reference")
-        vectorized = _run_estimator(estimator, graph, "vectorized")
-        assert reference.counters.random_walks == vectorized.counters.random_walks
-        # Walk steps are random, but their per-walk averages must agree.
+        dense_other = other.to_dense(graph)
+        assert np.max(np.abs(dense_ref - dense_other)) < 0.05
+        assert dense_ref.sum() == pytest.approx(dense_other.sum(), abs=0.05)
         avg_ref = reference.counters.walk_steps / reference.counters.random_walks
-        avg_vec = vectorized.counters.walk_steps / vectorized.counters.random_walks
-        assert avg_ref == pytest.approx(avg_vec, rel=0.25, abs=0.5)
+        avg_other = other.counters.walk_steps / other.counters.random_walks
+        assert avg_ref == pytest.approx(avg_other, rel=0.25, abs=0.5)
+
+
+def test_numba_fallback_preserves_global_numpy_rng_state(weights):
+    """The plain-Python kernels reseed np.random internally; callers' use
+    of the global legacy RNG must not be disturbed (the JIT path targets
+    numba's separate internal state, so both environments behave alike)."""
+    if numba_available():
+        pytest.skip("with numba installed the kernels never touch numpy's state")
+    graph = ring_graph(10)
+    backend = NumbaBackend()
+    np.random.seed(2024)
+    backend.walk_batch(
+        graph, np.zeros(50, dtype=np.int64), 0, weights, np.random.default_rng(1)
+    )
+    backend.poisson_walk_batch(
+        graph, np.zeros(50, dtype=np.int64), weights, np.random.default_rng(2)
+    )
+    backend.geometric_walk_batch(
+        graph, np.zeros(50, dtype=np.int64), 0.2, np.random.default_rng(3)
+    )
+    after = np.random.random(3)
+    np.random.seed(2024)
+    assert np.array_equal(after, np.random.random(3))
+
+
+@pytest.mark.statistical
+def test_numba_jit_backend_parity_or_skip():
+    """The registered (JIT-compiled) numba backend passes the kernel laws.
+
+    Skipped cleanly where numba is not installed; the plain-Python fallback
+    of the same kernels is covered unconditionally above.
+    """
+    if not numba_available():
+        pytest.skip("numba is not installed; JIT parity runs in the full CI job")
+    statcheck.check_kernel_distributions(
+        get_backend("numba"), parity_graph("powerlaw"), num_walks=12_000
+    )

@@ -1,0 +1,179 @@
+"""Meta-tests for the statistical harness itself (:mod:`statcheck`).
+
+A parity harness that cannot reject anything would vacuously pass every
+backend, so these tests check both directions: correct samples are
+accepted, wrong distributions are rejected, and the exact endpoint laws
+agree with the independent ``exact_hkpr`` / ``exact_ppr`` implementations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import statcheck
+
+from repro.graph.generators import powerlaw_cluster_graph, ring_graph
+from repro.graph.graph import Graph
+from repro.hkpr.exact import exact_hkpr
+from repro.hkpr.params import HKPRParams
+from repro.hkpr.poisson import PoissonWeights
+from repro.ppr.exact import exact_ppr
+
+
+class TestChiSquareGof:
+    def test_accepts_a_true_multinomial_sample(self):
+        rng = np.random.default_rng(0)
+        probs = np.array([0.5, 0.3, 0.15, 0.05])
+        counts = rng.multinomial(20_000, probs)
+        result = statcheck.chi_square_gof(counts, probs)
+        result.assert_ok()
+        assert result.num_samples == 20_000
+
+    def test_rejects_a_wrong_distribution(self):
+        rng = np.random.default_rng(1)
+        counts = rng.multinomial(20_000, [0.5, 0.3, 0.15, 0.05])
+        wrong = np.array([0.25, 0.25, 0.25, 0.25])
+        result = statcheck.chi_square_gof(counts, wrong)
+        assert result.pvalue < 1e-12
+        with pytest.raises(AssertionError):
+            result.assert_ok(context="deliberately wrong law")
+
+    def test_small_bins_are_pooled(self):
+        # 40 tiny bins + 2 large ones: the tiny ones must be pooled, so the
+        # dof reflects the retained structure, not the raw bin count.
+        probs = np.concatenate([[0.45, 0.45], np.full(40, 0.1 / 40)])
+        rng = np.random.default_rng(2)
+        # 1000 samples: each tiny bin expects 2.5 < 5 and must be pooled
+        # into one tail bin (expected 100), leaving 3 bins -> dof 2.
+        counts = rng.multinomial(1000, probs)
+        result = statcheck.chi_square_gof(counts, probs)
+        assert result.dof == 2
+        result.assert_ok()
+
+    def test_sub_threshold_remainder_folds_into_smallest_bin(self):
+        probs = np.array([0.9, 0.0999, 0.0001])
+        rng = np.random.default_rng(3)
+        counts = rng.multinomial(2000, probs)
+        result = statcheck.chi_square_gof(counts, probs)
+        assert result.dof == 1
+        result.assert_ok()
+
+    def test_too_small_sample_rejected(self):
+        with pytest.raises(ValueError):
+            statcheck.chi_square_gof([1, 0, 1], [0.4, 0.3, 0.3])
+
+    def test_shape_mismatch_and_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            statcheck.chi_square_gof([1, 2], [0.5, 0.3, 0.2])
+        with pytest.raises(ValueError):
+            statcheck.chi_square_gof([0, 0], [0.5, 0.5])
+        with pytest.raises(ValueError):
+            statcheck.chi_square_gof([5, 5], [0.0, 0.0])
+
+    def test_negative_float_residue_in_probs_is_clipped(self):
+        probs = np.array([0.6, 0.4, -1e-15])
+        counts = np.array([600.0, 400.0, 0.0])
+        statcheck.chi_square_gof(counts, probs).assert_ok()
+
+
+class TestExactLaws:
+    def test_laws_are_distributions(self):
+        graph = powerlaw_cluster_graph(30, 3, 0.3, seed=5)
+        weights = PoissonWeights(5.0)
+        for law in (
+            statcheck.hop_conditioned_probs(graph, 0, 0, weights),
+            statcheck.hop_conditioned_probs(graph, 0, 3, weights),
+            statcheck.poisson_probs(graph, 0, weights),
+            statcheck.poisson_probs(graph, 0, weights, max_length=2),
+            statcheck.geometric_probs(graph, 0, 0.2),
+        ):
+            assert law.min() >= 0.0
+            assert law.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_hop_beyond_truncation_is_a_point_mass(self):
+        graph = ring_graph(8)
+        weights = PoissonWeights(5.0)
+        law = statcheck.hop_conditioned_probs(graph, 3, weights.max_hop + 2, weights)
+        assert law[3] == pytest.approx(1.0)
+        assert law.sum() == pytest.approx(1.0)
+
+    def test_negative_hop_rejected(self):
+        from repro.exceptions import ParameterError
+
+        with pytest.raises(ParameterError):
+            statcheck.hop_conditioned_probs(ring_graph(6), 0, -1, PoissonWeights(5.0))
+
+    def test_hop_zero_law_matches_exact_hkpr(self):
+        """Cross-validation: the harness's dense iteration against the
+        estimator package's independent power-method implementation."""
+        graph = powerlaw_cluster_graph(40, 3, 0.3, seed=9)
+        weights = PoissonWeights(5.0)
+        params = HKPRParams(t=5.0, eps_r=0.5, delta=0.01, p_f=1e-6)
+        harness = statcheck.hop_conditioned_probs(graph, 0, 0, weights)
+        independent = exact_hkpr(graph, 0, params).to_dense(graph)
+        np.testing.assert_allclose(harness, independent, atol=1e-9)
+
+    def test_poisson_law_matches_exact_hkpr(self):
+        graph = powerlaw_cluster_graph(40, 3, 0.3, seed=9)
+        weights = PoissonWeights(4.0)
+        params = HKPRParams(t=4.0, eps_r=0.5, delta=0.01, p_f=1e-6)
+        harness = statcheck.poisson_probs(graph, 0, weights)
+        independent = exact_hkpr(graph, 0, params).to_dense(graph)
+        np.testing.assert_allclose(harness, independent, atol=1e-9)
+
+    def test_geometric_law_matches_exact_ppr(self):
+        graph = powerlaw_cluster_graph(40, 3, 0.3, seed=9)
+        harness = statcheck.geometric_probs(graph, 0, 0.25)
+        independent = exact_ppr(graph, 0, alpha=0.25).to_dense(graph)
+        np.testing.assert_allclose(harness, independent, atol=1e-9)
+
+    def test_isolated_node_is_absorbing(self):
+        graph = Graph(4, [(1, 2)])
+        weights = PoissonWeights(5.0)
+        law = statcheck.poisson_probs(graph, 0, weights)
+        assert law[0] == pytest.approx(1.0)
+
+
+class TestHarnessRejectsBrokenBackends:
+    """The estimator-level check must catch a backend with a wrong law."""
+
+    class _BiasedBackend:
+        """Walks never move: every endpoint is its start node."""
+
+        name = "biased"
+
+        def _stay(self, starts):
+            return np.atleast_1d(np.asarray(starts, dtype=np.int64)).copy()
+
+        def walk_batch(self, graph, start_nodes, hop_offsets, weights, rng, *, counters=None):
+            ends = self._stay(start_nodes)
+            if counters is not None:
+                counters.random_walks += ends.size
+            return ends
+
+        def poisson_walk_batch(self, graph, start_nodes, weights, rng, *, max_length=None, counters=None):
+            ends = self._stay(start_nodes)
+            if counters is not None:
+                counters.random_walks += ends.size
+            return ends
+
+        def geometric_walk_batch(self, graph, start_nodes, alpha, rng, *, counters=None):
+            ends = self._stay(start_nodes)
+            if counters is not None:
+                counters.random_walks += ends.size
+            return ends
+
+    def test_kernel_check_rejects_stuck_walks(self):
+        graph = powerlaw_cluster_graph(40, 3, 0.3, seed=5)
+        with pytest.raises(AssertionError):
+            statcheck.check_kernel_distributions(
+                self._BiasedBackend(), graph, num_walks=4000
+            )
+
+    def test_estimator_check_rejects_stuck_walks(self):
+        graph = powerlaw_cluster_graph(40, 3, 0.3, seed=5)
+        with pytest.raises(AssertionError):
+            statcheck.check_estimator_walk_parity(
+                "monte-carlo", graph, self._BiasedBackend(), max_walks=4000
+            )
