@@ -11,9 +11,13 @@ provides:
 * the shared local-clustering machinery (conductance, sweep cut, quality
   metrics, NDCG ranking accuracy),
 * a graph substrate with synthetic generators standing in for the paper's
-  SNAP datasets, and
+  SNAP datasets,
 * a benchmark harness that regenerates every table and figure of the
-  paper's evaluation section (see ``benchmarks/`` and ``EXPERIMENTS.md``).
+  paper's evaluation section (see ``benchmarks/`` and ``EXPERIMENTS.md``),
+  and
+* an online query-serving layer (:mod:`repro.service`, ``repro-cli serve``)
+  that micro-batches concurrent HKPR/PPR queries into shared walk kernels
+  behind a cache and admission control.
 
 Quickstart
 ----------

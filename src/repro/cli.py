@@ -8,10 +8,13 @@ writing Python:
 * ``repro-cli datasets`` — list the built-in benchmark surrogates with their
   Table-7 statistics.
 * ``repro-cli backends`` — list the registered walk-execution backends
-  (see :mod:`repro.engine`) and which one is the current default.
+  (see :mod:`repro.engine`), the current default, and the effective walk
+  worker count.
 * ``repro-cli experiment`` — run one of the paper's experiments (figure2,
   figure3, ..., table8, ablation) at a configurable scale and print the
   result table.
+* ``repro-cli serve`` — start the online query server (:mod:`repro.service`)
+  on one or more graphs, exposing the JSON-over-HTTP API.
 
 Examples
 --------
@@ -23,11 +26,14 @@ Examples
     python -m repro.cli cluster --edge-list my_graph.txt --seed-node 7 --t 10
     python -m repro.cli cluster --dataset dblp-sim --seed-node 42 --backend parallel
     python -m repro.cli experiment figure3 --datasets grid3d-sim --num-seeds 2
+    python -m repro.cli serve --dataset dblp-sim --port 8355
+    python -m repro.cli serve --generate "chung-lu,n=100000,seed=11" --graph-name big
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from collections.abc import Sequence
 
@@ -36,6 +42,7 @@ from repro.bench.datasets import DATASETS, dataset_statistics, load_dataset
 from repro.bench.reporting import format_rows
 from repro.clustering.local import SUPPORTED_METHODS, local_cluster
 from repro.engine import backend_descriptions, default_backend_name, get_backend
+from repro.engine.parallel import WORKERS_ENV_VAR, default_worker_count
 from repro.exceptions import ReproError
 from repro.graph.io import load_edge_list
 from repro.hkpr import backend_estimator_kwargs
@@ -103,6 +110,60 @@ def build_parser() -> argparse.ArgumentParser:
         "backends", help="list registered walk-execution backends"
     )
 
+    serve = subparsers.add_parser(
+        "serve", help="start the online HKPR/PPR query server"
+    )
+    serve.add_argument(
+        "--dataset", action="append", default=[], choices=sorted(DATASETS),
+        help="register a built-in surrogate dataset (repeatable)",
+    )
+    serve.add_argument(
+        "--edge-list", action="append", default=[],
+        help="register a graph from an edge-list file (repeatable)",
+    )
+    serve.add_argument(
+        "--generate", action="append", default=[], metavar="SPEC",
+        help=(
+            "register a generated graph, e.g. 'chung-lu,n=100000,gamma=2.5,"
+            "seed=11' (repeatable; see repro.service.registry)"
+        ),
+    )
+    serve.add_argument(
+        "--graph-name", default=None,
+        help="name for the registered graph (single-source servers only)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8355, help="bind port")
+    serve.add_argument(
+        "--backend", default=None,
+        help="walk execution engine (default: process default)",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=32,
+        help="max queries fused into one dispatch cycle (default 32)",
+    )
+    serve.add_argument(
+        "--batch-wait-ms", type=float, default=0.5,
+        help="straggler grace window per batch in ms (default 0.5)",
+    )
+    serve.add_argument(
+        "--max-pending", type=int, default=1024,
+        help="bounded queue size; beyond it requests get HTTP 429",
+    )
+    serve.add_argument(
+        "--max-inflight-walks", type=int, default=50_000_000,
+        help="admission cap on estimated in-flight walks",
+    )
+    serve.add_argument(
+        "--cache-size", type=int, default=1024,
+        help="result cache entries (0 disables the cache)",
+    )
+    serve.add_argument(
+        "--cache-ttl", type=float, default=None,
+        help="result cache TTL in seconds (default: no expiry)",
+    )
+    serve.add_argument("--rng", type=int, default=None, help="batch RNG seed")
+
     experiment = subparsers.add_parser(
         "experiment", help="run one of the paper's experiments"
     )
@@ -164,6 +225,22 @@ def _run_datasets(_: argparse.Namespace) -> int:
     return 0
 
 
+def _worker_count_line() -> str:
+    """Effective walk worker count and where it came from.
+
+    Reported by ``backends`` and ``serve`` so operators can see whether a
+    ``$REPRO_WALK_WORKERS`` override is actually in effect.
+    """
+    env = os.environ.get(WORKERS_ENV_VAR)
+    try:
+        workers = default_worker_count()
+    except ReproError as error:
+        return f"invalid (${WORKERS_ENV_VAR}: {error})"
+    if env is not None and env.strip():
+        return f"{workers} (from ${WORKERS_ENV_VAR}={env.strip()})"
+    return f"{workers} (auto: usable CPUs; override with ${WORKERS_ENV_VAR})"
+
+
 def _run_backends(_: argparse.Namespace) -> int:
     try:
         default = default_backend_name()
@@ -184,10 +261,93 @@ def _run_backends(_: argparse.Namespace) -> int:
             title="registered walk-execution backends",
         )
     )
+    print(f"\nwalk workers : {_worker_count_line()}")
     print(
-        "\nselect with --backend, $REPRO_BACKEND, or "
+        "select with --backend, $REPRO_BACKEND, or "
         "repro.engine.set_default_backend()"
     )
+    return 0
+
+
+def build_service_from_args(args: argparse.Namespace):
+    """Construct the (not yet started) :class:`QueryService` for ``serve``.
+
+    Factored out of the request loop so tests can validate server assembly
+    without binding a socket.
+    """
+    from repro.service import GraphRegistry, QueryService
+
+    sources = (
+        [("dataset", name) for name in args.dataset]
+        + [("edge-list", path) for path in args.edge_list]
+        + [("generate", spec) for spec in args.generate]
+    )
+    if not sources:
+        raise ReproError(
+            "serve needs at least one graph: --dataset, --edge-list or --generate"
+        )
+    if args.graph_name is not None and len(sources) != 1:
+        raise ReproError("--graph-name requires exactly one graph source")
+    if args.backend is not None:
+        get_backend(args.backend)  # eager validation, as in `cluster`
+
+    registry = GraphRegistry()
+    for kind, value in sources:
+        if kind == "dataset":
+            registry.add_dataset(value, name=args.graph_name)
+        elif kind == "edge-list":
+            registry.add_edge_list(value, name=args.graph_name)
+        else:
+            registry.add_generated(value, name=args.graph_name)
+
+    return QueryService(
+        registry,
+        backend=args.backend,
+        max_batch=args.max_batch,
+        batch_wait_seconds=args.batch_wait_ms / 1000.0,
+        max_pending=args.max_pending,
+        max_inflight_walks=args.max_inflight_walks,
+        cache_entries=args.cache_size,
+        cache_ttl_seconds=args.cache_ttl,
+        rng=args.rng,
+    )
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    from repro.service.http import make_server
+
+    service = build_service_from_args(args)
+    server = make_server(service, args.host, args.port)
+    service.start()
+
+    print("repro query service")
+    for entry in service.registry.describe():
+        print(
+            f"graph           : {entry['name']} "
+            f"(n={entry['num_nodes']}, m={entry['num_edges']}, "
+            f"source {entry['source']})"
+        )
+    print(f"backend         : {service.backend.name}")
+    print(f"walk workers    : {_worker_count_line()}")
+    print(
+        f"micro-batching  : max_batch={args.max_batch}, "
+        f"wait={args.batch_wait_ms}ms, max_pending={args.max_pending}"
+    )
+    cache = "disabled" if args.cache_size == 0 else (
+        f"{args.cache_size} entries"
+        + (f", ttl={args.cache_ttl}s" if args.cache_ttl else "")
+    )
+    print(f"result cache    : {cache}")
+    print(f"listening on    : http://{args.host}:{server.server_address[1]}")
+    print("endpoints       : POST /query   GET /stats /graphs /healthz")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.stop()
     return 0
 
 
@@ -214,6 +374,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "datasets": _run_datasets,
         "backends": _run_backends,
         "experiment": _run_experiment,
+        "serve": _run_serve,
     }
     try:
         return handlers[args.command](args)

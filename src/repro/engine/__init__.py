@@ -244,6 +244,12 @@ def use_backend(name: str) -> Iterator[Backend]:
         set_default_backend(previous)
 
 
+from repro.engine.multi import (  # noqa: E402
+    WalkPlan,
+    WalkTask,
+    execute_plans,
+    run_walk_tasks,
+)
 from repro.engine.numba_backend import (  # noqa: E402
     NUMBA_AVAILABLE,
     NumbaBackend,
@@ -268,13 +274,17 @@ __all__ = [
     "ReferenceBackend",
     "VectorizedBackend",
     "WALK_CHUNK_SIZE",
+    "WalkPlan",
+    "WalkTask",
     "available_backends",
     "backend_descriptions",
     "chunk_sizes",
     "default_backend_name",
+    "execute_plans",
     "get_backend",
     "numba_available",
     "register_backend",
+    "run_walk_tasks",
     "set_default_backend",
     "unregister_backend",
     "use_backend",

@@ -1,0 +1,318 @@
+"""Multi-query walk fusion: run many queries' walk phases as shared batches.
+
+The kernels of the :class:`~repro.engine.Backend` protocol are already
+multi-*source* (every walk in a batch may start at a different node), but the
+estimators each submit their own batches, so `k` concurrent queries pay the
+per-level Python overhead of the level-synchronous kernels `k` times.  This
+module adds the multi-*query* entry point the serving layer
+(:mod:`repro.service`) is built on:
+
+* :class:`WalkTask` — one query's walk phase described as data: the kernel
+  kind (``"heat"``, ``"poisson"``, ``"geometric"``), its start nodes and the
+  kernel parameters.
+* :func:`run_walk_tasks` — groups compatible tasks (same kernel and
+  parameters), concatenates their start arrays, performs **one** kernel call
+  per group, and splits the endpoints back out per task, in order.  Per-task
+  counters receive exact ``random_walks``; ``walk_steps`` is exact whenever
+  the backend advertises ``supports_step_counts`` (the vectorized backend
+  does) and is otherwise attributed proportionally to task size, flagged via
+  ``extras["walk_steps_attribution"]``.
+* :class:`WalkPlan` / :func:`execute_plans` — the two-phase query shape the
+  micro-batcher consumes: a plan is built per query (running any
+  deterministic push phase eagerly), exposes its fusible ``tasks``, and is
+  ``finalize``\\ d with the walk endpoints once the fused batch returns.
+
+Determinism caveat: fused walks draw from one shared generator, so a query's
+individual endpoints depend on which queries it was co-batched with.  The
+endpoint *distribution* of each task is unchanged (each walk is independent
+and kernel parameters are per-task), which is what the statistical parity
+suite verifies; callers that need byte-reproducible results must run their
+tasks unfused with a private generator, as the service does for requests
+carrying an explicit seed.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.engine import Backend, as_int_array, get_backend
+from repro.exceptions import ParameterError
+from repro.utils.counters import OperationCounters
+
+if TYPE_CHECKING:
+    from repro.graph.graph import Graph
+    from repro.hkpr.poisson import PoissonWeights
+
+#: Kernel kinds a :class:`WalkTask` may request.
+TASK_KINDS = ("heat", "poisson", "geometric")
+
+
+@dataclass
+class WalkTask:
+    """One query's walk phase, described as data for deferred fused execution.
+
+    ``kind`` selects the kernel: ``"heat"`` (hop-conditioned heat kernel
+    walks; needs ``hop_offsets`` and ``weights``), ``"poisson"``
+    (Poisson(t)-length walks; needs ``weights``, optional ``max_length``), or
+    ``"geometric"`` (restart walks; needs ``alpha``).
+    """
+
+    kind: str
+    start_nodes: np.ndarray
+    hop_offsets: np.ndarray | None = None
+    weights: "PoissonWeights | None" = None
+    alpha: float | None = None
+    max_length: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in TASK_KINDS:
+            raise ParameterError(
+                f"unknown walk task kind {self.kind!r}; expected one of {TASK_KINDS}"
+            )
+        self.start_nodes = as_int_array(self.start_nodes)
+        if self.kind == "heat":
+            if self.weights is None or self.hop_offsets is None:
+                raise ParameterError("heat tasks need weights and hop_offsets")
+            self.hop_offsets = np.broadcast_to(
+                as_int_array(self.hop_offsets), self.start_nodes.shape
+            )
+        elif self.kind == "poisson":
+            if self.weights is None:
+                raise ParameterError("poisson tasks need weights")
+        elif self.alpha is None:
+            raise ParameterError("geometric tasks need alpha")
+
+    @property
+    def num_walks(self) -> int:
+        """Walks this task will run."""
+        return int(self.start_nodes.size)
+
+    def fuse_key(self) -> tuple:
+        """Tasks with equal keys may share one kernel call.
+
+        ``PoissonWeights`` tables are a pure function of ``(t, max_hop)``, so
+        two weight objects with equal keys define the same walk law.
+        """
+        if self.kind == "heat":
+            return ("heat", self.weights.t, self.weights.max_hop)
+        if self.kind == "poisson":
+            return ("poisson", self.weights.t, self.weights.max_hop, self.max_length)
+        return ("geometric", self.alpha)
+
+
+def _run_group(
+    backend: Backend,
+    graph: "Graph",
+    tasks: list[WalkTask],
+    rng: np.random.Generator,
+    want_steps: bool,
+) -> tuple[list[np.ndarray], OperationCounters, np.ndarray | None]:
+    """One kernel call for a group of fuse-compatible tasks; split endpoints."""
+    first = tasks[0]
+    sizes = [task.num_walks for task in tasks]
+    total = sum(sizes)
+    scratch = OperationCounters()
+    if len(tasks) == 1:
+        starts = first.start_nodes
+        hops = first.hop_offsets
+    else:
+        starts = np.concatenate([task.start_nodes for task in tasks])
+        if first.kind == "heat":
+            hops = np.concatenate([task.hop_offsets for task in tasks])
+        else:
+            hops = None
+
+    step_counts = None
+    if (
+        want_steps
+        and len(tasks) > 1
+        and total
+        and getattr(backend, "supports_step_counts", False)
+    ):
+        step_counts = np.zeros(total, dtype=np.int64)
+
+    kwargs: dict[str, Any] = {"counters": scratch}
+    if step_counts is not None:
+        kwargs["step_counts"] = step_counts
+    if first.kind == "heat":
+        ends = backend.walk_batch(graph, starts, hops, first.weights, rng, **kwargs)
+    elif first.kind == "poisson":
+        ends = backend.poisson_walk_batch(
+            graph, starts, first.weights, rng, max_length=first.max_length, **kwargs
+        )
+    else:
+        ends = backend.geometric_walk_batch(graph, starts, first.alpha, rng, **kwargs)
+
+    bounds = np.cumsum([0] + sizes)
+    pieces = [ends[bounds[i]: bounds[i + 1]] for i in range(len(tasks))]
+    return pieces, scratch, step_counts
+
+
+def _attribute_counters(
+    tasks: list[WalkTask],
+    counters: list[OperationCounters | None],
+    scratch: OperationCounters,
+    step_counts: np.ndarray | None,
+) -> None:
+    """Split one fused kernel call's accounting back out per task."""
+    sizes = [task.num_walks for task in tasks]
+    total = sum(sizes)
+    bounds = np.cumsum([0] + sizes)
+
+    # Per-task step shares are computed over *every* task — including those
+    # without counters — so tasks with a None entry do not shift their share
+    # onto whichever task with counters happens to come last.
+    proportional = len(tasks) > 1 and step_counts is None
+    if proportional:
+        shares = [
+            int(round(scratch.walk_steps * size / total)) if total else 0
+            for size in sizes[:-1]
+        ]
+        shares.append(scratch.walk_steps - sum(shares))
+
+    for i, task_counters in enumerate(counters):
+        if task_counters is None:
+            continue
+        task_counters.random_walks += sizes[i]
+        if len(tasks) == 1:
+            steps = scratch.walk_steps
+        elif step_counts is not None:
+            steps = int(step_counts[bounds[i]: bounds[i + 1]].sum())
+        else:
+            steps = shares[i]
+            task_counters.extras["walk_steps_attribution"] = "proportional"
+        task_counters.walk_steps += steps
+        for key, value in scratch.extras.items():
+            task_counters.extras.setdefault(key, value)
+        if len(tasks) > 1:
+            task_counters.extras["fused_tasks"] = len(tasks)
+            task_counters.extras["fused_walks"] = total
+
+
+def _split_by_size(indices: list[int], tasks: Sequence[WalkTask], cap: int) -> list[list[int]]:
+    """Greedily pack a fuse group into sub-groups of at most ``cap`` walks.
+
+    Preserves order; a single task larger than ``cap`` stands alone (the
+    plans already chunk their own tasks, so this only happens for direct
+    callers who built an oversized task deliberately).
+    """
+    sub_groups: list[list[int]] = []
+    current: list[int] = []
+    current_size = 0
+    for index in indices:
+        size = tasks[index].num_walks
+        if current and current_size + size > cap:
+            sub_groups.append(current)
+            current, current_size = [], 0
+        current.append(index)
+        current_size += size
+    if current:
+        sub_groups.append(current)
+    return sub_groups
+
+
+def run_walk_tasks(
+    backend: str | Backend | None,
+    graph: "Graph",
+    tasks: Sequence[WalkTask],
+    rng: np.random.Generator,
+    *,
+    counters_list: Sequence[OperationCounters | None] | None = None,
+    max_fused_walks: int | None = None,
+) -> list[np.ndarray]:
+    """Execute ``tasks`` on ``graph``, fusing compatible tasks per kernel call.
+
+    Returns one endpoint array per task, in task order.  ``counters_list``
+    (when given) must align with ``tasks``; entries may repeat the same
+    :class:`OperationCounters` object when several tasks belong to one query.
+
+    Fused kernel calls are capped at ``max_fused_walks`` walks (default:
+    :data:`repro.engine.WALK_CHUNK_SIZE`, read at call time) so fusing many
+    queries preserves the memory bound the per-query chunking established —
+    a group is split into consecutive sub-batches rather than concatenated
+    without limit.
+
+    Group order follows first appearance in ``tasks`` and tasks keep their
+    relative order within a group, so for a fixed backend the result is a
+    pure function of ``(rng state, task sequence, fusion cap)``.
+    """
+    from repro import engine as engine_module
+
+    engine = get_backend(backend)
+    if counters_list is not None and len(counters_list) != len(tasks):
+        raise ParameterError(
+            f"counters_list length {len(counters_list)} != number of tasks {len(tasks)}"
+        )
+    cap = max_fused_walks if max_fused_walks is not None else engine_module.WALK_CHUNK_SIZE
+    if cap < 1:
+        raise ParameterError(f"max_fused_walks must be >= 1, got {cap}")
+    groups: dict[tuple, list[int]] = {}
+    for index, task in enumerate(tasks):
+        groups.setdefault(task.fuse_key(), []).append(index)
+
+    results: list[np.ndarray | None] = [None] * len(tasks)
+    for indices in groups.values():
+        for sub_indices in _split_by_size(indices, tasks, cap):
+            group = [tasks[i] for i in sub_indices]
+            group_counters = [
+                counters_list[i] if counters_list is not None else None
+                for i in sub_indices
+            ]
+            want_steps = any(c is not None for c in group_counters)
+            pieces, scratch, step_counts = _run_group(
+                engine, graph, group, rng, want_steps
+            )
+            _attribute_counters(group, group_counters, scratch, step_counts)
+            for position, index in enumerate(sub_indices):
+                results[index] = pieces[position]
+    return results  # type: ignore[return-value]
+
+
+@runtime_checkable
+class WalkPlan(Protocol):
+    """A query split into a fusible walk phase and a finalization step.
+
+    Implementations run any deterministic work (push phases, residue
+    sampling) at construction time, expose the walk phase as ``tasks``, and
+    assemble the query result from the walk endpoints in ``finalize``.
+    ``counters`` (may be ``None``) receives the walk accounting for every
+    task of the plan.
+    """
+
+    tasks: Sequence[WalkTask]
+    counters: OperationCounters | None
+
+    def finalize(self, endpoints: Sequence[np.ndarray]) -> Any:
+        """Build the query result from one endpoint array per task."""
+        ...
+
+
+def execute_plans(
+    backend: str | Backend | None,
+    graph: "Graph",
+    plans: Sequence[WalkPlan],
+    rng: np.random.Generator,
+) -> list[Any]:
+    """Run every plan's walk tasks as fused batches and finalize each plan.
+
+    The batched entry points (``monte_carlo_hkpr_many`` et al.) and the
+    service micro-batcher both funnel through here, so fusion semantics
+    exist exactly once.
+    """
+    tasks: list[WalkTask] = []
+    counters_list: list[OperationCounters | None] = []
+    spans: list[tuple[int, int]] = []
+    for plan in plans:
+        start = len(tasks)
+        tasks.extend(plan.tasks)
+        counters_list.extend([plan.counters] * len(plan.tasks))
+        spans.append((start, len(tasks)))
+    endpoints = run_walk_tasks(backend, graph, tasks, rng, counters_list=counters_list)
+    return [
+        plan.finalize(endpoints[start:stop])
+        for plan, (start, stop) in zip(plans, spans)
+    ]

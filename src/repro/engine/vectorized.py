@@ -63,6 +63,7 @@ def walk_batch_validated(
     rng: np.random.Generator,
     *,
     counters: OperationCounters | None = None,
+    step_counts: np.ndarray | None = None,
 ) -> np.ndarray:
     """Hop-conditioned kernel over pre-validated, owned (mutated!) arrays.
 
@@ -70,6 +71,11 @@ def walk_batch_validated(
     :func:`_validated_hops` (or equivalent); both are advanced in place and
     ``current`` is returned.  :class:`ParallelBackend` shards call this
     directly so inputs a parent already validated are not re-scanned.
+
+    ``step_counts``, when given, is a caller-allocated per-walk array that
+    each walk's traversed-edge count is accumulated into — the multi-query
+    fusion layer (:mod:`repro.engine.multi`) uses it to split the step
+    accounting of a fused batch back out to its constituent queries exactly.
     """
     num_walks = current.size
     if num_walks == 0:
@@ -92,6 +98,8 @@ def walk_batch_validated(
             offsets = rng.integers(0, degrees[cur])
             current[pending] = indices[indptr[cur] + offsets]
             hops[pending] += 1
+            if step_counts is not None:
+                step_counts[pending] += 1
             total_steps += pending.size
     if counters is not None:
         counters.random_walks += num_walks
@@ -107,6 +115,7 @@ def poisson_walk_batch_validated(
     *,
     max_length: int | None = None,
     counters: OperationCounters | None = None,
+    step_counts: np.ndarray | None = None,
 ) -> np.ndarray:
     """Poisson-length kernel over a pre-validated, owned (mutated!) array."""
     num_walks = current.size
@@ -127,6 +136,8 @@ def poisson_walk_batch_validated(
         nxt = indices[indptr[cur] + offsets]
         current[pending] = nxt
         remaining[pending] -= 1
+        if step_counts is not None:
+            step_counts[pending] += 1
         total_steps += pending.size
         pending = pending[(remaining[pending] > 0) & (degrees[nxt] > 0)]
     if counters is not None:
@@ -142,6 +153,7 @@ def geometric_walk_batch_validated(
     rng: np.random.Generator,
     *,
     counters: OperationCounters | None = None,
+    step_counts: np.ndarray | None = None,
 ) -> np.ndarray:
     """Restart-probability kernel over a pre-validated, owned (mutated!) array."""
     num_walks = current.size
@@ -160,6 +172,8 @@ def geometric_walk_batch_validated(
             cur = current[pending]
             offsets = rng.integers(0, degrees[cur])
             current[pending] = indices[indptr[cur] + offsets]
+            if step_counts is not None:
+                step_counts[pending] += 1
             total_steps += pending.size
     if counters is not None:
         counters.random_walks += num_walks
@@ -175,6 +189,10 @@ class VectorizedBackend:
         "level-synchronous NumPy kernels advancing all pending walks one "
         "hop per iteration (the default)"
     )
+    #: The kernels accept a per-walk ``step_counts`` out-array, letting the
+    #: fusion layer (:mod:`repro.engine.multi`) attribute traversed edges to
+    #: individual queries of a fused batch exactly.
+    supports_step_counts = True
 
     def walk_batch(
         self,
@@ -185,13 +203,15 @@ class VectorizedBackend:
         rng: np.random.Generator,
         *,
         counters: OperationCounters | None = None,
+        step_counts: np.ndarray | None = None,
     ) -> np.ndarray:
         current = _validated_starts(graph, start_nodes)
         if current.size == 0:
             return current
         hops = _validated_hops(current, hop_offsets)
         return walk_batch_validated(
-            graph, current, hops, weights, rng, counters=counters
+            graph, current, hops, weights, rng,
+            counters=counters, step_counts=step_counts,
         )
 
     def poisson_walk_batch(
@@ -203,10 +223,12 @@ class VectorizedBackend:
         *,
         max_length: int | None = None,
         counters: OperationCounters | None = None,
+        step_counts: np.ndarray | None = None,
     ) -> np.ndarray:
         current = _validated_starts(graph, start_nodes)
         return poisson_walk_batch_validated(
-            graph, current, weights, rng, max_length=max_length, counters=counters
+            graph, current, weights, rng,
+            max_length=max_length, counters=counters, step_counts=step_counts,
         )
 
     def geometric_walk_batch(
@@ -217,8 +239,10 @@ class VectorizedBackend:
         rng: np.random.Generator,
         *,
         counters: OperationCounters | None = None,
+        step_counts: np.ndarray | None = None,
     ) -> np.ndarray:
         current = _validated_starts(graph, start_nodes)
         return geometric_walk_batch_validated(
-            graph, current, alpha, rng, counters=counters
+            graph, current, alpha, rng,
+            counters=counters, step_counts=step_counts,
         )

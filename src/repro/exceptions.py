@@ -38,3 +38,27 @@ class DatasetError(ReproError):
 
 class ConvergenceError(ReproError):
     """Raised when an iterative method fails to converge within its budget."""
+
+
+class ServiceError(ReproError):
+    """Raised for invalid requests to the query-serving layer."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """Raised when admission control rejects a request (backpressure).
+
+    The HTTP frontend maps this to status 429 so load generators and
+    clients can distinguish overload from invalid input.
+    """
+
+
+class ServiceExecutionError(Exception):
+    """A server-side failure while executing an admitted query.
+
+    Deliberately **not** a :class:`ReproError`: every ``ReproError`` at the
+    service boundary means "your request was invalid" (HTTP 400), while
+    this means "your valid request hit an internal fault" (HTTP 500), so
+    retry and alerting logic can tell them apart.
+    """
+
+

@@ -93,11 +93,30 @@ class HKPRResult:
         return out
 
     def ranking(self, graph: Graph) -> list[int]:
-        """Support nodes sorted by descending normalized HKPR (sweep order)."""
-        return sorted(
+        """Support nodes sorted by descending normalized HKPR (sweep order).
+
+        Memoized per ``(graph, support size)``: the serving layer re-ranks
+        the same cached result for every hit, and the sort dominates the
+        hit path on large supports.  The guard only detects support-size
+        changes — overwriting an existing entry's *value* after taking a
+        ranking would serve the stale order (no in-tree caller mutates a
+        result after ranking; results are treated as immutable once built).
+        A fresh list is returned each call — callers (e.g. the sweep)
+        mutate their copy.
+        """
+        cached = getattr(self, "_ranking_memo", None)
+        if (
+            cached is not None
+            and cached[0] is graph
+            and cached[1] == self.estimates.nnz()
+        ):
+            return list(cached[2])
+        order = sorted(
             self.support(),
             key=lambda v: (-self.normalized(v, graph), v),
         )
+        self._ranking_memo = (graph, self.estimates.nnz(), tuple(order))
+        return order
 
     def total_mass(self, graph: Graph, *, include_offset: bool = False) -> float:
         """Sum of all estimates — close to 1 for accurate estimators."""

@@ -1,0 +1,119 @@
+"""LRU + TTL result cache for served queries.
+
+Standing query workloads repeat: the same (graph, method, parameters, seed
+node) tuple arrives again and again, and for a randomized estimator any
+fresh run is just another sample of the same distribution — so serving a
+cached sample is semantically equivalent to recomputing, at zero cost.  The
+cache is therefore keyed on the *normalized* query (see
+:func:`repro.service.planner.QueryRequest.cache_key`) and consulted before a
+request is admitted to the batch queue.
+
+Two policies compose:
+
+* **LRU** — at most ``max_entries`` results; inserting beyond capacity
+  evicts the least-recently-*used* entry (hits refresh recency).
+* **TTL** — optional: entries older than ``ttl_seconds`` are treated as
+  absent (and dropped on discovery), bounding staleness for workloads that
+  mutate graphs out-of-band by re-registering them.
+
+Requests that pin an RNG seed bypass the cache entirely (both lookup and
+insert): a pinned seed asks for *that specific stream's* result, which a
+cache hit from a different stream would silently violate.  The bypass is
+enforced by the planner, not here.
+
+The clock is injectable for deterministic TTL tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Any, Callable, Hashable
+
+from repro.exceptions import ParameterError
+
+
+class ResultCache:
+    """Thread-safe LRU cache with optional time-to-live expiry."""
+
+    def __init__(
+        self,
+        max_entries: int = 1024,
+        *,
+        ttl_seconds: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_entries < 1:
+            raise ParameterError(f"max_entries must be >= 1, got {max_entries}")
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ParameterError(
+                f"ttl_seconds must be positive (or None), got {ttl_seconds}"
+            )
+        self._max_entries = max_entries
+        self._ttl = ttl_seconds
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Hashable, tuple[float, Any]]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._expirations = 0
+
+    def get(self, key: Hashable) -> Any | None:
+        """The cached value for ``key``, or ``None`` (miss or expired)."""
+        now = self._clock()
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            stored_at, value = entry
+            if self._ttl is not None and now - stored_at > self._ttl:
+                del self._entries[key]
+                self._expirations += 1
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert ``value`` under ``key``, evicting LRU entries beyond capacity."""
+        now = self._clock()
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = (now, value)
+            while len(self._entries) > self._max_entries:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def invalidate(self, key: Hashable) -> bool:
+        """Drop ``key``; returns whether it was present."""
+        with self._lock:
+            return self._entries.pop(key, None) is not None
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict[str, float | int | None]:
+        """JSON-able counters, including the derived hit rate."""
+        with self._lock:
+            hits, misses = self._hits, self._misses
+            return {
+                "entries": len(self._entries),
+                "max_entries": self._max_entries,
+                "ttl_seconds": self._ttl,
+                "hits": hits,
+                "misses": misses,
+                "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+                "evictions": self._evictions,
+                "expirations": self._expirations,
+            }

@@ -1,0 +1,141 @@
+"""Stdlib JSON-over-HTTP frontend for :class:`~repro.service.QueryService`.
+
+Endpoints:
+
+* ``POST /query`` — body ``{"graph": ..., "method": ..., "seed_node": ...,
+  "params": {...}, "rng": ..., "top_k": ...}``; responds with the
+  :meth:`QueryResponse.to_dict` envelope.  ``400`` for invalid requests,
+  ``429`` when admission control rejects (backpressure), ``500`` for
+  execution failures.
+* ``GET /stats`` — serving telemetry (latency, cache hit rate, batch
+  occupancy, walks/sec).
+* ``GET /graphs`` — registered graphs and their sizes.
+* ``GET /healthz`` — liveness probe.
+
+Built on ``http.server.ThreadingHTTPServer`` deliberately: one handler
+thread per connection is exactly the shape the micro-batcher wants (many
+concurrently *blocked* requests for it to fuse), and the stdlib keeps the
+serving layer dependency-free.  This frontend is for trusted/benchmark use —
+it performs no authentication.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.exceptions import ReproError, ServiceOverloadedError
+from repro.service.planner import DEFAULT_TOP_K
+from repro.service.service import QueryService
+
+#: Largest accepted request body, a defense against accidental floods.
+MAX_BODY_BYTES = 1 << 20
+
+
+class ServiceRequestHandler(BaseHTTPRequestHandler):
+    """Maps the JSON API onto a :class:`QueryService` (set on the server)."""
+
+    server_version = "repro-service/1.0"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> QueryService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if getattr(self.server, "verbose", False):  # pragma: no cover - debug aid
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: dict, *, close: bool = False) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if close:
+            # Also sets self.close_connection, tearing the socket down
+            # after the response is written.
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        if self.path == "/healthz":
+            self._send_json(200, {"status": "ok"})
+        elif self.path == "/stats":
+            self._send_json(200, self.service.stats())
+        elif self.path == "/graphs":
+            self._send_json(200, {"graphs": self.service.registry.describe()})
+        else:
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        if self.path != "/query":
+            # The body is never read on this path — close so a keep-alive
+            # connection does not parse its next request from body bytes.
+            self._send_json(404, {"error": f"unknown path {self.path!r}"}, close=True)
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except ValueError:
+            self._send_json(400, {"error": "invalid Content-Length header"}, close=True)
+            return
+        if length <= 0 or length > MAX_BODY_BYTES:
+            # The body is left unread, so a keep-alive connection would
+            # desync (the next request would be parsed from body bytes) —
+            # close it instead of draining megabytes.
+            self._send_json(
+                400, {"error": "missing or oversized request body"}, close=True
+            )
+            return
+        try:
+            payload = json.loads(self.rfile.read(length))
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            self._send_json(400, {"error": f"invalid JSON body: {error}"})
+            return
+        if not isinstance(payload, dict):
+            self._send_json(400, {"error": "request body must be a JSON object"})
+            return
+        missing = [key for key in ("graph", "method", "seed_node") if key not in payload]
+        if missing:
+            self._send_json(400, {"error": f"missing field(s): {missing}"})
+            return
+        try:
+            response = self.service.query(
+                payload["graph"],
+                payload["method"],
+                payload["seed_node"],
+                payload.get("params"),
+                rng=payload.get("rng"),
+                top_k=payload.get("top_k", DEFAULT_TOP_K),
+            )
+            entry = self.service.registry.get(payload["graph"])
+            self._send_json(200, response.to_dict(entry))
+        except ServiceOverloadedError as error:
+            self._send_json(429, {"error": str(error)})
+        except ReproError as error:
+            self._send_json(400, {"error": str(error)})
+        except Exception as error:  # noqa: BLE001 - keep the server alive
+            self._send_json(500, {"error": f"internal error: {error}"})
+
+
+def make_server(
+    service: QueryService, host: str = "127.0.0.1", port: int = 8355
+) -> ThreadingHTTPServer:
+    """Build (but do not start) the HTTP server bound to ``host:port``."""
+    server = ThreadingHTTPServer((host, port), ServiceRequestHandler)
+    server.daemon_threads = True
+    server.service = service  # type: ignore[attr-defined]
+    return server
+
+
+def serve_in_thread(
+    service: QueryService, host: str = "127.0.0.1", port: int = 0
+) -> tuple[ThreadingHTTPServer, threading.Thread]:
+    """Start the server on a background thread (tests; port 0 = ephemeral)."""
+    server = make_server(service, host, port)
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-service-http", daemon=True
+    )
+    thread.start()
+    return server, thread

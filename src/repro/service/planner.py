@@ -1,0 +1,346 @@
+"""Request validation, normalization, and query planning.
+
+A wire request is a loosely-typed dict; the planner turns it into a
+:class:`QueryRequest` (validated, with canonical parameter types) at
+admission time, and into a :class:`~repro.engine.multi.WalkPlan` (the
+two-phase prepare/finalize form) at dispatch time.  Normalizing eagerly
+means invalid requests fail *before* they occupy queue capacity, and the
+canonical parameter tuple doubles as the result-cache key.
+
+Method registry
+---------------
+``SERVICE_METHODS`` maps each servable method to its parameter schema, an
+admission-control walk estimate, and a plan builder:
+
+* fusible — ``monte-carlo`` and ``tea+`` (HKPR), ``fora`` and ``mc-ppr``
+  (PPR) decompose into walk tasks the micro-batcher fuses across queries;
+* direct — ``tea``, ``hk-relax`` and ``exact`` run whole inside plan
+  construction (``tea`` has a walk phase but no plan form yet; the
+  deterministic two need none) and return an already-finalized plan.
+
+Determinism: requests carrying an explicit ``rng`` seed are marked
+*pinned* — the cache is bypassed and the batcher runs their walk tasks
+unfused on a private generator, so the response is a pure function of the
+request.  Unpinned requests may be fused and may be served from cache.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.exceptions import ServiceError
+from repro.hkpr.batched import MonteCarloPlan, TeaPlusPlan
+from repro.hkpr.hk_relax import hk_relax
+from repro.hkpr.exact import exact_hkpr
+from repro.hkpr.params import HKPRParams
+from repro.hkpr.tea import tea
+from repro.ppr.batched import ForaPlan, MonteCarloPPRPlan
+from repro.ppr.fora import walk_count
+from repro.service.registry import GraphEntry
+from repro.utils.rng import ensure_rng
+
+#: Default number of ranked nodes returned in a response envelope.
+DEFAULT_TOP_K = 20
+
+
+def _hkpr_params(entry: GraphEntry, params: dict) -> HKPRParams:
+    """Build :class:`HKPRParams` from normalized request parameters."""
+    delta = params.get("delta")
+    if delta is None:
+        delta = 1.0 / max(entry.graph.num_nodes, 2)
+    return HKPRParams(
+        t=params.get("t", 5.0),
+        eps_r=params.get("eps_r", 0.5),
+        delta=delta,
+        p_f=params.get("p_f", 1e-6),
+    )
+
+
+class DirectPlan:
+    """A plan whose work already happened: zero tasks, stored result."""
+
+    tasks = ()
+    estimated_walks = 0
+
+    def __init__(self, result) -> None:
+        self._result = result
+        self.counters = result.counters
+
+    def finalize(self, endpoints) -> object:
+        return self._result
+
+
+@dataclass(frozen=True)
+class MethodSpec:
+    """How one servable method is validated, estimated, and planned."""
+
+    name: str
+    #: Allowed request parameters and their canonicalizing casts.
+    param_casts: dict[str, Callable]
+    #: True when the result is a pure function of the request (no walks),
+    #: so even rng-pinned requests are cache-eligible.
+    deterministic: bool
+    #: Admission-control estimate of the walks the query will run.
+    estimate_walks: Callable[[GraphEntry, dict], int]
+    #: Build the plan (push phases run here).  ``rng`` seeds residue
+    #: sampling and, for direct methods, the whole walk phase.
+    build: Callable[[GraphEntry, "QueryRequest", object], object]
+
+
+def _estimate_monte_carlo(entry: GraphEntry, params: dict) -> int:
+    if "num_walks" in params:
+        return params["num_walks"]
+    return int(math.ceil(_hkpr_params(entry, params).omega_monte_carlo(entry.graph)))
+
+
+def _estimate_tea_family(entry: GraphEntry, params: dict) -> int:
+    if "max_walks" in params:
+        return params["max_walks"]
+    # Upper bound: the walk count is alpha * omega with alpha <= 1.
+    return int(math.ceil(_hkpr_params(entry, params).omega_tea_plus(entry.graph)))
+
+
+def _estimate_fora(entry: GraphEntry, params: dict) -> int:
+    if "max_walks" in params:
+        return params["max_walks"]
+    hkpr = _hkpr_params(entry, params)
+    return walk_count(entry.graph, hkpr.eps_r, hkpr.delta, hkpr.p_f)
+
+
+def _build_monte_carlo(entry: GraphEntry, request: "QueryRequest", rng) -> MonteCarloPlan:
+    params = _hkpr_params(entry, request.params)
+    return MonteCarloPlan(
+        entry.graph,
+        request.seed_node,
+        params,
+        num_walks=request.params.get("num_walks"),
+        weights=entry.poisson_weights(params.t),
+    )
+
+
+def _build_tea_plus(entry: GraphEntry, request: "QueryRequest", rng) -> TeaPlusPlan:
+    params = _hkpr_params(entry, request.params)
+    return TeaPlusPlan(
+        entry.graph,
+        request.seed_node,
+        params,
+        rng=rng,
+        max_walks=request.params.get("max_walks"),
+        weights=entry.poisson_weights(params.t),
+    )
+
+
+def _build_tea(entry: GraphEntry, request: "QueryRequest", rng) -> DirectPlan:
+    params = _hkpr_params(entry, request.params)
+    return DirectPlan(
+        tea(
+            entry.graph,
+            request.seed_node,
+            params,
+            rng=rng,
+            max_walks=request.params.get("max_walks"),
+        )
+    )
+
+
+def _build_fora(entry: GraphEntry, request: "QueryRequest", rng) -> ForaPlan:
+    params = request.params
+    return ForaPlan(
+        entry.graph,
+        request.seed_node,
+        alpha=params.get("alpha", 0.15),
+        eps_r=params.get("eps_r", 0.5),
+        delta=params.get("delta"),
+        p_f=params.get("p_f", 1e-6),
+        rng=rng,
+        max_walks=params.get("max_walks"),
+    )
+
+
+def _build_mc_ppr(entry: GraphEntry, request: "QueryRequest", rng) -> MonteCarloPPRPlan:
+    params = request.params
+    return MonteCarloPPRPlan(
+        entry.graph,
+        request.seed_node,
+        alpha=params.get("alpha", 0.15),
+        num_walks=params.get("num_walks", 10_000),
+    )
+
+
+def _build_hk_relax(entry: GraphEntry, request: "QueryRequest", rng) -> DirectPlan:
+    params = _hkpr_params(entry, request.params)
+    return DirectPlan(hk_relax(entry.graph, request.seed_node, params))
+
+
+def _build_exact(entry: GraphEntry, request: "QueryRequest", rng) -> DirectPlan:
+    params = _hkpr_params(entry, request.params)
+    return DirectPlan(exact_hkpr(entry.graph, request.seed_node, params))
+
+
+_HKPR_PARAMS = {"t": float, "eps_r": float, "delta": float, "p_f": float}
+
+SERVICE_METHODS: dict[str, MethodSpec] = {
+    "monte-carlo": MethodSpec(
+        "monte-carlo", {**_HKPR_PARAMS, "num_walks": int},
+        False, _estimate_monte_carlo, _build_monte_carlo,
+    ),
+    "tea+": MethodSpec(
+        "tea+", {**_HKPR_PARAMS, "max_walks": int},
+        False, _estimate_tea_family, _build_tea_plus,
+    ),
+    "tea": MethodSpec(
+        "tea", {**_HKPR_PARAMS, "max_walks": int},
+        False, _estimate_tea_family, _build_tea,
+    ),
+    "fora": MethodSpec(
+        "fora", {"alpha": float, "eps_r": float, "delta": float, "p_f": float,
+                 "max_walks": int},
+        False, _estimate_fora, _build_fora,
+    ),
+    "mc-ppr": MethodSpec(
+        "mc-ppr", {"alpha": float, "num_walks": int},
+        False, lambda entry, params: params.get("num_walks", 10_000), _build_mc_ppr,
+    ),
+    "hk-relax": MethodSpec(
+        "hk-relax", dict(_HKPR_PARAMS),
+        True, lambda entry, params: 0, _build_hk_relax,
+    ),
+    "exact": MethodSpec(
+        "exact", dict(_HKPR_PARAMS),
+        True, lambda entry, params: 0, _build_exact,
+    ),
+}
+"""Servable methods.  Fusible methods decompose into walk tasks; ``tea``,
+``hk-relax`` and ``exact`` execute directly inside plan construction."""
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One validated, normalized query."""
+
+    graph: str
+    method: str
+    seed_node: int
+    params: dict = field(default_factory=dict)
+    rng: int | None = None
+    top_k: int = DEFAULT_TOP_K
+
+    @property
+    def pinned(self) -> bool:
+        """Whether the request pinned an RNG seed (deterministic mode)."""
+        return self.rng is not None
+
+    def cache_key(self) -> tuple:
+        """Canonical cache key (excludes ``rng`` and ``top_k``).
+
+        ``top_k`` only shapes the response envelope and the full result is
+        cached, so two requests differing only in ``top_k`` share a key.
+        """
+        return (
+            self.graph,
+            self.method,
+            self.seed_node,
+            tuple(sorted(self.params.items())),
+        )
+
+    def cache_eligible(self) -> bool:
+        """Pinned requests bypass the cache unless the method is deterministic."""
+        return SERVICE_METHODS[self.method].deterministic or not self.pinned
+
+
+def _check_range(key: str, value) -> None:
+    """Reject out-of-range parameters at admission.
+
+    These bounds guard the *service*, not just the estimators: a negative
+    ``num_walks``/``max_walks`` would otherwise drive the in-flight walk
+    estimate negative and disable admission control, and the remaining
+    checks fail bad queries before they occupy queue capacity (the
+    estimators would reject them anyway, but only on the dispatch thread).
+    """
+    ok = True
+    if key == "num_walks":
+        ok = value >= 1
+    elif key == "max_walks":
+        ok = value >= 0
+    elif key in ("alpha", "eps_r", "delta", "p_f"):
+        ok = 0.0 < value < 1.0
+    elif key == "t":
+        ok = value > 0.0
+    if not ok:
+        raise ServiceError(f"parameter {key!r} is out of range: {value!r}")
+
+
+def normalize_request(
+    graph: str,
+    method: str,
+    seed_node,
+    params: dict | None = None,
+    *,
+    rng=None,
+    top_k=DEFAULT_TOP_K,
+    entry: GraphEntry | None = None,
+) -> QueryRequest:
+    """Validate raw request fields into a :class:`QueryRequest`.
+
+    ``entry`` (when provided) additionally validates the seed node against
+    the graph, so bad requests are rejected at admission rather than
+    mid-batch.
+    """
+    spec = SERVICE_METHODS.get(method)
+    if spec is None:
+        raise ServiceError(
+            f"unknown method {method!r}; expected one of {sorted(SERVICE_METHODS)}"
+        )
+    try:
+        seed_node = int(seed_node)
+        top_k = int(top_k)
+        rng = None if rng is None else int(rng)
+    except (TypeError, ValueError) as exc:
+        raise ServiceError(f"non-integer seed_node/top_k/rng: {exc}") from None
+    if top_k < 1:
+        raise ServiceError(f"top_k must be >= 1, got {top_k}")
+
+    normalized: dict = {}
+    for key, value in (params or {}).items():
+        cast = spec.param_casts.get(key)
+        if cast is None:
+            raise ServiceError(
+                f"unknown parameter {key!r} for method {method!r}; "
+                f"allowed: {sorted(spec.param_casts)}"
+            )
+        try:
+            normalized[key] = cast(value)
+        except (TypeError, ValueError):
+            raise ServiceError(
+                f"parameter {key!r} has invalid value {value!r}"
+            ) from None
+        _check_range(key, normalized[key])
+
+    if entry is not None and not entry.graph.has_node(seed_node):
+        raise ServiceError(
+            f"seed node {seed_node} is not in graph {graph!r} "
+            f"(n={entry.graph.num_nodes})"
+        )
+    return QueryRequest(
+        graph=graph, method=method, seed_node=seed_node,
+        params=normalized, rng=rng, top_k=top_k,
+    )
+
+
+def estimate_walks(entry: GraphEntry, request: QueryRequest) -> int:
+    """Admission-control estimate of the walks ``request`` will run."""
+    return SERVICE_METHODS[request.method].estimate_walks(entry, request.params)
+
+
+def build_plan(entry: GraphEntry, request: QueryRequest):
+    """Build the request's :class:`~repro.engine.multi.WalkPlan`.
+
+    Push phases and residue sampling run here (on the dispatch thread).
+    Pinned requests get a private generator seeded with ``request.rng``;
+    the batcher runs their tasks on that same generator, unfused.
+    """
+    rng = ensure_rng(request.rng) if request.pinned else ensure_rng(None)
+    plan = SERVICE_METHODS[request.method].build(entry, request, rng)
+    return plan, rng

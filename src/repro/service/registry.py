@@ -1,0 +1,212 @@
+"""The graph registry: load each graph once, keep its hot state warm.
+
+A cold CLI query pays graph construction (file parse or generator run, CSR
+build) plus ``PoissonWeights`` table construction on every call.  The
+registry amortizes all of it across the lifetime of the server:
+
+* graphs are registered once — from the built-in benchmark surrogates, an
+  edge-list file, or a generator spec string — and their CSR arrays stay
+  resident;
+* per-``(graph, t)`` :class:`~repro.hkpr.poisson.PoissonWeights` objects are
+  cached, so the stop-probability table every heat kernel walk reads is
+  built once per heat constant rather than once per request (weights are
+  graph-independent, but scoping the cache per registry keeps lifetimes
+  obvious);
+* a per-graph metadata dict (n, m, average degree) is precomputed for the
+  ``/graphs`` endpoint and response envelopes.
+
+Generator specs are strings like ``"chung-lu,n=20000,gamma=2.5,seed=11"``
+(also ``powerlaw-cluster``, ``grid3d``, ``erdos-renyi``) so a server can be
+started on a synthetic graph from the command line without writing files.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.bench.datasets import DATASETS, load_dataset
+from repro.exceptions import ServiceError
+from repro.graph import generators
+from repro.graph.graph import Graph
+from repro.graph.io import load_edge_list
+from repro.hkpr.poisson import PoissonWeights
+
+#: Generator spec name -> (builder, per-parameter caster).  Every parameter
+#: is optional except ``n`` (``grid3d`` takes a side length instead).
+_GENERATOR_SPECS = {
+    "chung-lu": "_build_chung_lu",
+    "powerlaw-cluster": "_build_powerlaw_cluster",
+    "grid3d": "_build_grid3d",
+    "erdos-renyi": "_build_erdos_renyi",
+}
+
+
+def _build_chung_lu(params: dict[str, float]) -> Graph:
+    n = int(params.pop("n", 10_000))
+    gamma = float(params.pop("gamma", 2.5))
+    min_degree = int(params.pop("min_degree", 2))
+    max_degree = int(params.pop("max_degree", max(min_degree + 1, int(n**0.5))))
+    seed = int(params.pop("seed", 0))
+    degrees = generators.power_law_degree_sequence(
+        n, gamma, min_degree, max_degree, seed=seed
+    )
+    return generators.chung_lu_graph(degrees, seed=seed, connected=False)
+
+
+def _build_powerlaw_cluster(params: dict[str, float]) -> Graph:
+    n = int(params.pop("n", 5_000))
+    m = int(params.pop("m", 5))
+    p = float(params.pop("p", 0.3))
+    seed = int(params.pop("seed", 0))
+    return generators.powerlaw_cluster_graph(n, m, p, seed=seed)
+
+
+def _build_grid3d(params: dict[str, float]) -> Graph:
+    side = int(params.pop("side", 12))
+    return generators.grid_3d_graph(side, side, side, periodic=True)
+
+
+def _build_erdos_renyi(params: dict[str, float]) -> Graph:
+    n = int(params.pop("n", 5_000))
+    p = float(params.pop("p", 2.0 / max(n - 1, 1)))
+    seed = int(params.pop("seed", 0))
+    return generators.erdos_renyi_graph(n, p, seed=seed, connected=True)
+
+
+def build_from_spec(spec: str) -> Graph:
+    """Build a graph from a ``"name,key=value,..."`` generator spec string."""
+    parts = [piece.strip() for piece in spec.split(",") if piece.strip()]
+    if not parts:
+        raise ServiceError(f"empty generator spec {spec!r}")
+    name, raw_params = parts[0], parts[1:]
+    builder_name = _GENERATOR_SPECS.get(name)
+    if builder_name is None:
+        raise ServiceError(
+            f"unknown generator {name!r}; expected one of {sorted(_GENERATOR_SPECS)}"
+        )
+    params: dict[str, float] = {}
+    for raw in raw_params:
+        if "=" not in raw:
+            raise ServiceError(
+                f"generator parameter {raw!r} is not key=value (spec {spec!r})"
+            )
+        key, value = raw.split("=", 1)
+        try:
+            params[key.strip()] = float(value)
+        except ValueError:
+            raise ServiceError(
+                f"generator parameter {raw!r} has a non-numeric value"
+            ) from None
+    builder = globals()[builder_name]
+    graph = builder(params)
+    if params:
+        raise ServiceError(
+            f"unknown parameter(s) {sorted(params)} for generator {name!r}"
+        )
+    return graph
+
+
+@dataclass
+class GraphEntry:
+    """One registered graph plus its warm per-graph caches."""
+
+    name: str
+    graph: Graph
+    source: str
+    _weights: dict[float, PoissonWeights] = field(default_factory=dict)
+
+    def poisson_weights(self, t: float) -> PoissonWeights:
+        """The cached ``PoissonWeights`` for heat constant ``t``."""
+        weights = self._weights.get(t)
+        if weights is None:
+            weights = self._weights[t] = PoissonWeights(t)
+        return weights
+
+    def describe(self) -> dict:
+        """JSON-able summary for the ``/graphs`` endpoint."""
+        return {
+            "name": self.name,
+            "source": self.source,
+            "num_nodes": self.graph.num_nodes,
+            "num_edges": self.graph.num_edges,
+            "average_degree": round(self.graph.average_degree, 3)
+            if self.graph.num_nodes
+            else 0.0,
+        }
+
+
+class GraphRegistry:
+    """Thread-safe name -> :class:`GraphEntry` mapping.
+
+    All mutation happens through ``add_*`` methods; lookups after startup
+    are lock-protected dictionary reads.  Entries are immutable apart from
+    their weight caches, where a concurrent miss may build the same
+    ``PoissonWeights`` twice — a benign race (the objects are
+    interchangeable and one insert wins).
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[str, GraphEntry] = {}
+        self._lock = threading.Lock()
+
+    def add_graph(self, name: str, graph: Graph, *, source: str = "in-memory") -> GraphEntry:
+        """Register an already-built graph under ``name`` (overwrites)."""
+        entry = GraphEntry(name=name, graph=graph, source=source)
+        with self._lock:
+            self._entries[name] = entry
+        return entry
+
+    def add_dataset(self, dataset: str, *, name: str | None = None) -> GraphEntry:
+        """Register one of the built-in benchmark surrogates."""
+        if dataset not in DATASETS:
+            raise ServiceError(
+                f"unknown dataset {dataset!r}; expected one of {sorted(DATASETS)}"
+            )
+        return self.add_graph(
+            name or dataset, load_dataset(dataset), source=f"dataset:{dataset}"
+        )
+
+    def add_edge_list(self, path: str | Path, *, name: str | None = None) -> GraphEntry:
+        """Register a graph loaded from a whitespace-separated edge list."""
+        path = Path(path)
+        graph, _ = load_edge_list(path)
+        return self.add_graph(
+            name or path.stem, graph, source=f"edge-list:{path}"
+        )
+
+    def add_generated(self, spec: str, *, name: str | None = None) -> GraphEntry:
+        """Register a graph built from a generator spec string."""
+        return self.add_graph(
+            name or spec, build_from_spec(spec), source=f"generated:{spec}"
+        )
+
+    def get(self, name: str) -> GraphEntry:
+        """The entry for ``name``; :class:`ServiceError` when unknown."""
+        with self._lock:
+            entry = self._entries.get(name)
+        if entry is None:
+            raise ServiceError(
+                f"unknown graph {name!r}; registered: {self.names()}"
+            )
+        return entry
+
+    def names(self) -> list[str]:
+        """Sorted names of all registered graphs."""
+        with self._lock:
+            return sorted(self._entries)
+
+    def describe(self) -> list[dict]:
+        """JSON-able summaries of every registered graph."""
+        with self._lock:
+            entries = list(self._entries.values())
+        return [entry.describe() for entry in entries]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, name: object) -> bool:
+        with self._lock:
+            return name in self._entries

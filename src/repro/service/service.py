@@ -1,0 +1,488 @@
+"""The query service: composition root, admission control, telemetry.
+
+:class:`QueryService` wires the registry, result cache, planner and
+micro-batcher into one long-lived object:
+
+* ``submit`` — validate + normalize the request, try the cache, apply
+  admission control (bounded queue *and* a cap on estimated in-flight
+  walks), and enqueue; returns a :class:`concurrent.futures.Future`.
+* the dispatch thread (inside :class:`~repro.service.batcher.MicroBatcher`)
+  calls back into ``_execute_batch``: plans are built per request (push
+  phases run here), the walk tasks of all unpinned plans are fused per
+  graph through :func:`repro.engine.multi.execute_plans`, pinned plans run
+  unfused on their private generators, and each future is resolved with a
+  :class:`QueryResponse`.
+* :class:`Telemetry` tallies per-request latency, cache hit rate, batch
+  occupancy and walk throughput; ``stats()`` returns the JSON the ``/stats``
+  endpoint and the load harness consume.
+
+:class:`ServiceClient` is the in-process client: the same request/response
+surface the HTTP frontend exposes, minus the socket — tests and the
+benchmark load generator drive the service through it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future, InvalidStateError
+from dataclasses import dataclass
+
+from repro.engine import Backend, get_backend
+from repro.engine.multi import execute_plans, run_walk_tasks
+from repro.exceptions import (
+    ReproError,
+    ServiceExecutionError,
+    ServiceOverloadedError,
+)
+from repro.hkpr.result import HKPRResult
+from repro.service.batcher import (
+    DEFAULT_BATCH_WAIT_SECONDS,
+    DEFAULT_MAX_BATCH,
+    DEFAULT_MAX_PENDING,
+    MicroBatcher,
+)
+from repro.service.cache import ResultCache
+from repro.service.planner import (
+    DEFAULT_TOP_K,
+    QueryRequest,
+    build_plan,
+    estimate_walks,
+    normalize_request,
+)
+from repro.service.registry import GraphEntry, GraphRegistry
+from repro.utils.rng import RandomState, ensure_rng
+
+#: Default cap on the estimated walks admitted but not yet completed.
+DEFAULT_MAX_INFLIGHT_WALKS = 50_000_000
+
+
+@dataclass
+class QueryResponse:
+    """One answered query: the estimator result plus serving metadata."""
+
+    request: QueryRequest
+    result: HKPRResult
+    cached: bool
+    latency_seconds: float
+    batch_size: int
+
+    def to_dict(self, entry: GraphEntry) -> dict:
+        """The JSON envelope served over HTTP (top-k ranking included)."""
+        graph = entry.graph
+        top = [
+            [node, self.result.value(node, graph)]
+            for node in self.result.ranking(graph)[: self.request.top_k]
+        ]
+        return {
+            "graph": self.request.graph,
+            "method": self.request.method,
+            "seed_node": self.request.seed_node,
+            "params": dict(self.request.params),
+            "top": top,
+            "support_size": self.result.support_size(),
+            "cached": self.cached,
+            "early_exit": self.result.early_exit,
+            "latency_ms": round(self.latency_seconds * 1000.0, 3),
+            "batch_size": self.batch_size,
+            "counters": self.result.counters.as_dict(),
+        }
+
+
+class Telemetry:
+    """Thread-safe serving metrics (latency, occupancy, walk throughput)."""
+
+    def __init__(self, *, latency_window: int = 2048) -> None:
+        self._lock = threading.Lock()
+        self._started = time.monotonic()
+        self._requests = 0
+        self._cache_hits = 0
+        self._rejected = 0
+        self._errors = 0
+        self._walks = 0
+        self._batches = 0
+        self._batched_requests = 0
+        self._max_occupancy = 0
+        self._batch_seconds = 0.0
+        self._latencies: deque[float] = deque(maxlen=latency_window)
+
+    def record_response(self, latency_seconds: float, *, cached: bool) -> None:
+        with self._lock:
+            self._requests += 1
+            if cached:
+                self._cache_hits += 1
+            self._latencies.append(latency_seconds)
+
+    def record_rejection(self) -> None:
+        with self._lock:
+            self._rejected += 1
+
+    def record_error(self) -> None:
+        with self._lock:
+            self._errors += 1
+
+    def record_batch(self, occupancy: int, walks: int, seconds: float) -> None:
+        with self._lock:
+            self._batches += 1
+            self._batched_requests += occupancy
+            self._max_occupancy = max(self._max_occupancy, occupancy)
+            self._walks += walks
+            self._batch_seconds += seconds
+
+    def snapshot(self) -> dict:
+        """JSON-able metrics summary."""
+        with self._lock:
+            uptime = max(time.monotonic() - self._started, 1e-9)
+            latencies = sorted(self._latencies)
+            def _pct(p: float) -> float:
+                if not latencies:
+                    return 0.0
+                index = min(int(p * len(latencies)), len(latencies) - 1)
+                return latencies[index] * 1000.0
+            return {
+                "uptime_seconds": round(uptime, 3),
+                "requests_total": self._requests,
+                "requests_per_second": round(self._requests / uptime, 3),
+                "rejected_total": self._rejected,
+                "errors_total": self._errors,
+                "latency_ms": {
+                    "mean": round(
+                        sum(latencies) / len(latencies) * 1000.0, 3
+                    ) if latencies else 0.0,
+                    "p50": round(_pct(0.50), 3),
+                    "p95": round(_pct(0.95), 3),
+                    "max": round(latencies[-1] * 1000.0, 3) if latencies else 0.0,
+                },
+                "batches": {
+                    "count": self._batches,
+                    "mean_occupancy": round(
+                        self._batched_requests / self._batches, 3
+                    ) if self._batches else 0.0,
+                    "max_occupancy": self._max_occupancy,
+                },
+                "walks": {
+                    "total": self._walks,
+                    "per_second_overall": round(self._walks / uptime, 1),
+                    "per_second_busy": round(
+                        self._walks / self._batch_seconds, 1
+                    ) if self._batch_seconds > 0 else 0.0,
+                },
+            }
+
+
+@dataclass
+class _Pending:
+    """One admitted request travelling through the batch queue."""
+
+    request: QueryRequest
+    entry: GraphEntry
+    future: Future
+    estimated_walks: int
+    submitted_at: float
+
+
+class QueryService:
+    """A long-lived, concurrent HKPR/PPR query server (in-process core)."""
+
+    def __init__(
+        self,
+        registry: GraphRegistry | None = None,
+        *,
+        backend: str | Backend | None = None,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        batch_wait_seconds: float = DEFAULT_BATCH_WAIT_SECONDS,
+        max_pending: int = DEFAULT_MAX_PENDING,
+        max_inflight_walks: int = DEFAULT_MAX_INFLIGHT_WALKS,
+        cache_entries: int = 1024,
+        cache_ttl_seconds: float | None = None,
+        rng: RandomState = None,
+    ) -> None:
+        self.registry = registry if registry is not None else GraphRegistry()
+        self._backend = get_backend(backend)
+        self._rng = ensure_rng(rng)
+        self.telemetry = Telemetry()
+        self.cache: ResultCache | None = (
+            ResultCache(cache_entries, ttl_seconds=cache_ttl_seconds)
+            if cache_entries > 0
+            else None
+        )
+        self._max_inflight_walks = max_inflight_walks
+        self._inflight_walks = 0
+        self._inflight_lock = threading.Lock()
+        self._batcher = MicroBatcher(
+            self._execute_batch,
+            max_batch=max_batch,
+            batch_wait_seconds=batch_wait_seconds,
+            max_pending=max_pending,
+            on_drop=self._drop_pending,
+        )
+
+    # -------------------------------------------------------------- #
+    # Lifecycle
+    # -------------------------------------------------------------- #
+    def start(self) -> "QueryService":
+        """Start the dispatch thread (idempotent); returns ``self``."""
+        self._batcher.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop dispatching; queued requests fail with :class:`ServiceExecutionError`."""
+        self._batcher.stop()
+
+    def __enter__(self) -> "QueryService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    @property
+    def backend(self) -> Backend:
+        """The walk-execution backend every batch runs on."""
+        return self._backend
+
+    # -------------------------------------------------------------- #
+    # Request path
+    # -------------------------------------------------------------- #
+    def submit(
+        self,
+        graph: str,
+        method: str,
+        seed_node,
+        params: dict | None = None,
+        *,
+        rng=None,
+        top_k=DEFAULT_TOP_K,
+    ) -> "Future[QueryResponse]":
+        """Admit one query; returns a future resolving to :class:`QueryResponse`.
+
+        Raises :class:`ServiceError` for invalid requests and
+        :class:`ServiceOverloadedError` when admission control rejects
+        (full queue or the in-flight walk cap).
+        """
+        entry = self.registry.get(graph)
+        request = normalize_request(
+            graph, method, seed_node, params, rng=rng, top_k=top_k, entry=entry
+        )
+        submitted_at = time.perf_counter()
+
+        if self.cache is not None and request.cache_eligible():
+            hit = self.cache.get(request.cache_key())
+            if hit is not None:
+                response = QueryResponse(
+                    request=request,
+                    result=hit,
+                    cached=True,
+                    latency_seconds=time.perf_counter() - submitted_at,
+                    batch_size=0,
+                )
+                self.telemetry.record_response(
+                    response.latency_seconds, cached=True
+                )
+                future: "Future[QueryResponse]" = Future()
+                future.set_result(response)
+                return future
+
+        estimated = max(0, estimate_walks(entry, request))
+        with self._inflight_lock:
+            if (
+                self._inflight_walks + estimated > self._max_inflight_walks
+                and self._inflight_walks > 0
+            ):
+                self.telemetry.record_rejection()
+                raise ServiceOverloadedError(
+                    f"in-flight walk budget exhausted "
+                    f"({self._inflight_walks} + {estimated} > "
+                    f"{self._max_inflight_walks})"
+                )
+            self._inflight_walks += estimated
+
+        pending = _Pending(request, entry, Future(), estimated, submitted_at)
+        try:
+            self._batcher.submit(pending)
+        except ServiceOverloadedError:
+            self._release_walks(estimated)
+            self.telemetry.record_rejection()
+            raise
+        return pending.future
+
+    def query(self, *args, timeout: float | None = 60.0, **kwargs) -> QueryResponse:
+        """Synchronous :meth:`submit` (blocks for the response)."""
+        return self.submit(*args, **kwargs).result(timeout=timeout)
+
+    def stats(self) -> dict:
+        """Telemetry + cache + queue metrics (the ``/stats`` payload)."""
+        snapshot = self.telemetry.snapshot()
+        snapshot["cache"] = self.cache.stats() if self.cache is not None else None
+        snapshot["queue"] = {
+            "pending": self._batcher.pending(),
+            "max_batch": self._batcher.max_batch,
+        }
+        with self._inflight_lock:
+            snapshot["inflight_walks"] = self._inflight_walks
+        snapshot["backend"] = self._backend.name
+        snapshot["graphs"] = self.registry.names()
+        return snapshot
+
+    # -------------------------------------------------------------- #
+    # Dispatch side (runs on the batcher thread)
+    # -------------------------------------------------------------- #
+    def _release_walks(self, count: int) -> None:
+        with self._inflight_lock:
+            self._inflight_walks = max(0, self._inflight_walks - count)
+
+    def _drop_pending(self, pending: _Pending) -> None:
+        self._release_walks(pending.estimated_walks)
+        try:
+            pending.future.set_exception(
+                ServiceExecutionError(
+                    "service stopped before the request was dispatched"
+                )
+            )
+        except InvalidStateError:  # client cancelled while queued
+            pass
+
+    def _resolve(
+        self, pending: _Pending, result: HKPRResult, batch_size: int
+    ) -> None:
+        response = QueryResponse(
+            request=pending.request,
+            result=result,
+            cached=False,
+            latency_seconds=time.perf_counter() - pending.submitted_at,
+            batch_size=batch_size,
+        )
+        if self.cache is not None and pending.request.cache_eligible():
+            self.cache.put(pending.request.cache_key(), result)
+        self.telemetry.record_response(response.latency_seconds, cached=False)
+        try:
+            pending.future.set_result(response)
+        except InvalidStateError:  # client cancelled mid-flight; result dropped
+            pass
+
+    def _fail(self, pending: _Pending, error: Exception) -> None:
+        self.telemetry.record_error()
+        try:
+            pending.future.set_exception(error)
+        except InvalidStateError:  # client cancelled mid-flight
+            pass
+
+    def _execute_batch(self, batch: list[_Pending]) -> None:
+        """Plan every request, fuse unpinned walk phases per graph, finalize."""
+        started = time.perf_counter()
+        walks_executed = 0
+        # Keyed by entry identity, not graph name: re-registering a name
+        # mid-flight must not fuse plans built against different graphs.
+        fused: dict[int, list[tuple[_Pending, object]]] = {}
+        pinned: list[tuple[_Pending, object, object]] = []
+        for pending in batch:
+            # Claim the future before doing any work: a client that already
+            # cancelled gets skipped, and a RUNNING future can no longer be
+            # cancelled out from under _resolve/_fail.
+            if not pending.future.set_running_or_notify_cancel():
+                self._release_walks(pending.estimated_walks)
+                continue
+            try:
+                plan, plan_rng = build_plan(pending.entry, pending.request)
+            except ReproError as error:
+                # Client-attributable (bad parameter combination the
+                # admission checks could not see) -> HTTP 400.
+                self._release_walks(pending.estimated_walks)
+                self._fail(pending, error)
+                continue
+            except Exception as error:  # noqa: BLE001 - future must not hang
+                self._release_walks(pending.estimated_walks)
+                self._fail(
+                    pending,
+                    ServiceExecutionError(f"plan construction failed: {error}"),
+                )
+                continue
+            if plan.counters is not None:
+                plan.counters.extras.setdefault("backend", self._backend.name)
+            if pending.request.pinned:
+                pinned.append((pending, plan, plan_rng))
+            else:
+                fused.setdefault(id(pending.entry), []).append((pending, plan))
+
+        for group in fused.values():
+            entry = group[0][0].entry
+            plans = [plan for _, plan in group]
+            try:
+                results = execute_plans(self._backend, entry.graph, plans, self._rng)
+            except Exception as error:  # noqa: BLE001 - fail the group, not the loop
+                wrapped = (
+                    error
+                    if isinstance(error, ReproError)
+                    else ServiceExecutionError(f"batch execution failed: {error}")
+                )
+                for pending, _ in group:
+                    self._release_walks(pending.estimated_walks)
+                    self._fail(pending, wrapped)
+                continue
+            for (pending, plan), result in zip(group, results):
+                walks_executed += plan.counters.random_walks if plan.counters else 0
+                self._release_walks(pending.estimated_walks)
+                self._resolve(pending, result, batch_size=len(batch))
+
+        for pending, plan, plan_rng in pinned:
+            try:
+                endpoints = run_walk_tasks(
+                    self._backend,
+                    pending.entry.graph,
+                    plan.tasks,
+                    plan_rng,
+                    counters_list=[plan.counters] * len(plan.tasks),
+                )
+                result = plan.finalize(endpoints)
+            except Exception as error:  # noqa: BLE001 - future must not hang
+                wrapped = (
+                    error
+                    if isinstance(error, ReproError)
+                    else ServiceExecutionError(f"pinned execution failed: {error}")
+                )
+                self._release_walks(pending.estimated_walks)
+                self._fail(pending, wrapped)
+                continue
+            walks_executed += plan.counters.random_walks if plan.counters else 0
+            self._release_walks(pending.estimated_walks)
+            self._resolve(pending, result, batch_size=len(batch))
+
+        self.telemetry.record_batch(
+            len(batch), walks_executed, time.perf_counter() - started
+        )
+
+
+class ServiceClient:
+    """In-process client mirroring the HTTP surface (used by tests/benchmarks)."""
+
+    def __init__(self, service: QueryService) -> None:
+        self._service = service
+
+    def query(self, *args, **kwargs) -> QueryResponse:
+        """Synchronous query returning the rich :class:`QueryResponse`."""
+        return self._service.query(*args, **kwargs)
+
+    def query_dict(
+        self,
+        graph: str,
+        method: str,
+        seed_node,
+        params: dict | None = None,
+        *,
+        rng=None,
+        top_k=DEFAULT_TOP_K,
+        timeout: float | None = 60.0,
+    ) -> dict:
+        """Query and shape the response exactly like the HTTP frontend."""
+        response = self._service.query(
+            graph, method, seed_node, params, rng=rng, top_k=top_k, timeout=timeout
+        )
+        return response.to_dict(self._service.registry.get(graph))
+
+    def stats(self) -> dict:
+        """The ``/stats`` payload."""
+        return self._service.stats()
+
+    def graphs(self) -> list[dict]:
+        """The ``/graphs`` payload."""
+        return self._service.registry.describe()

@@ -128,6 +128,83 @@ class TestBackendsCommand:
         assert "*" in output
         assert "REPRO_BACKEND" in output
 
+    def test_backends_reports_effective_worker_count(self, capsys, monkeypatch):
+        from repro.engine.parallel import WORKERS_ENV_VAR
+
+        monkeypatch.delenv(WORKERS_ENV_VAR, raising=False)
+        assert main(["backends"]) == 0
+        output = capsys.readouterr().out
+        assert "walk workers" in output
+        assert "auto: usable CPUs" in output
+
+    def test_backends_reports_worker_env_override(self, capsys, monkeypatch):
+        from repro.engine.parallel import WORKERS_ENV_VAR
+
+        monkeypatch.setenv(WORKERS_ENV_VAR, "3")
+        assert main(["backends"]) == 0
+        output = capsys.readouterr().out
+        assert f"3 (from ${WORKERS_ENV_VAR}=3)" in output
+
+
+class TestServeCommand:
+    def _serve_args(self, *extra):
+        return build_parser().parse_args(["serve", *extra])
+
+    def test_serve_requires_a_graph_source(self, capsys):
+        # Dispatch through main() so the error surfaces as exit code 2.
+        code = main(["serve", "--port", "0"])
+        assert code == 2
+        assert "at least one graph" in capsys.readouterr().err
+
+    def test_serve_rejects_unknown_backend(self, capsys):
+        code = main(
+            ["serve", "--dataset", "grid3d-sim", "--backend", "bogus", "--port", "0"]
+        )
+        assert code == 2
+        assert "unknown backend" in capsys.readouterr().err
+
+    def test_serve_rejects_graph_name_with_multiple_sources(self, capsys):
+        code = main(
+            [
+                "serve", "--dataset", "grid3d-sim", "--generate", "grid3d,side=3",
+                "--graph-name", "both", "--port", "0",
+            ]
+        )
+        assert code == 2
+        assert "exactly one graph source" in capsys.readouterr().err
+
+    def test_build_service_from_args(self):
+        from repro.cli import build_service_from_args
+
+        args = self._serve_args(
+            "--generate", "grid3d,side=3", "--graph-name", "g",
+            "--max-batch", "4", "--cache-size", "16",
+        )
+        service = build_service_from_args(args)
+        try:
+            assert service.registry.names() == ["g"]
+            assert service.registry.get("g").graph.num_nodes == 27
+            with service:
+                response = service.query("g", "monte-carlo", 0, {"num_walks": 50})
+                assert response.result.counters.random_walks == 50
+        finally:
+            service.stop()
+
+    def test_build_service_registers_multiple_sources(self, tmp_path):
+        from repro.cli import build_service_from_args
+        from repro.graph.io import save_edge_list
+
+        path = tmp_path / "ring.txt"
+        save_edge_list(ring_graph(12), path)
+        args = self._serve_args(
+            "--dataset", "grid3d-sim", "--edge-list", str(path),
+            "--generate", "grid3d,side=3",
+        )
+        service = build_service_from_args(args)
+        assert len(service.registry) == 3
+        assert "grid3d-sim" in service.registry
+        assert "ring" in service.registry
+
 
 class TestClusterBackendSelection:
     def _cluster_args(self, *extra):

@@ -1,0 +1,305 @@
+"""Tests for the multi-query walk fusion layer (:mod:`repro.engine.multi`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import available_backends, get_backend
+from repro.engine.multi import WalkTask, run_walk_tasks
+from repro.exceptions import ParameterError
+from repro.graph.graph import Graph
+from repro.hkpr.poisson import PoissonWeights
+from repro.utils.counters import OperationCounters
+
+from statcheck import chi_square_gof, endpoint_counts, geometric_probs, poisson_probs
+
+
+@pytest.fixture
+def two_cliques() -> Graph:
+    """Two disconnected 5-cliques: endpoints must stay in their component."""
+    edges = [(u, v) for u in range(5) for v in range(u + 1, 5)]
+    edges += [(u, v) for u in range(5, 10) for v in range(u + 1, 10)]
+    return Graph(10, edges)
+
+
+class TestWalkTask:
+    def test_rejects_unknown_kind(self, poisson_weights):
+        with pytest.raises(ParameterError, match="unknown walk task kind"):
+            WalkTask("levy", np.zeros(3, dtype=np.int64), weights=poisson_weights)
+
+    def test_heat_requires_weights_and_hops(self, poisson_weights):
+        with pytest.raises(ParameterError, match="heat tasks"):
+            WalkTask("heat", np.zeros(3, dtype=np.int64), weights=poisson_weights)
+        with pytest.raises(ParameterError, match="heat tasks"):
+            WalkTask("heat", np.zeros(3, dtype=np.int64), hop_offsets=0)
+
+    def test_poisson_requires_weights(self):
+        with pytest.raises(ParameterError, match="poisson tasks"):
+            WalkTask("poisson", np.zeros(3, dtype=np.int64))
+
+    def test_geometric_requires_alpha(self):
+        with pytest.raises(ParameterError, match="geometric tasks"):
+            WalkTask("geometric", np.zeros(3, dtype=np.int64))
+
+    def test_scalar_hop_offsets_broadcast(self, poisson_weights):
+        task = WalkTask(
+            "heat", np.zeros(4, dtype=np.int64), hop_offsets=2, weights=poisson_weights
+        )
+        assert task.hop_offsets.shape == (4,)
+        assert (task.hop_offsets == 2).all()
+
+    def test_fuse_keys(self, poisson_weights):
+        heat = WalkTask(
+            "heat", np.zeros(1, dtype=np.int64), hop_offsets=0, weights=poisson_weights
+        )
+        other_weights = PoissonWeights(5.0)
+        heat2 = WalkTask(
+            "heat", np.ones(1, dtype=np.int64), hop_offsets=1, weights=other_weights
+        )
+        # Distinct weight objects with the same (t, max_hop) fuse.
+        assert heat.fuse_key() == heat2.fuse_key()
+        poisson = WalkTask(
+            "poisson", np.zeros(1, dtype=np.int64), weights=poisson_weights
+        )
+        assert poisson.fuse_key() != heat.fuse_key()
+        geo_a = WalkTask("geometric", np.zeros(1, dtype=np.int64), alpha=0.2)
+        geo_b = WalkTask("geometric", np.zeros(1, dtype=np.int64), alpha=0.3)
+        assert geo_a.fuse_key() != geo_b.fuse_key()
+
+
+class TestRunWalkTasks:
+    def test_endpoints_split_per_task_in_order(self, two_cliques, poisson_weights):
+        # Tasks starting in different components: every returned endpoint
+        # must belong to its own task's component.
+        tasks = [
+            WalkTask("poisson", np.zeros(300, dtype=np.int64), weights=poisson_weights),
+            WalkTask(
+                "poisson", np.full(200, 7, dtype=np.int64), weights=poisson_weights
+            ),
+            WalkTask("geometric", np.full(100, 8, dtype=np.int64), alpha=0.3),
+        ]
+        rng = np.random.default_rng(3)
+        ends = run_walk_tasks("vectorized", two_cliques, tasks, rng)
+        assert [e.size for e in ends] == [300, 200, 100]
+        assert (ends[0] < 5).all()
+        assert (ends[1] >= 5).all()
+        assert (ends[2] >= 5).all()
+
+    def test_counters_random_walks_exact_per_task(self, two_cliques, poisson_weights):
+        tasks = [
+            WalkTask("poisson", np.zeros(120, dtype=np.int64), weights=poisson_weights),
+            WalkTask("poisson", np.full(80, 7, dtype=np.int64), weights=poisson_weights),
+        ]
+        counters = [OperationCounters(), OperationCounters()]
+        run_walk_tasks(
+            "vectorized", two_cliques, tasks, np.random.default_rng(5),
+            counters_list=counters,
+        )
+        assert counters[0].random_walks == 120
+        assert counters[1].random_walks == 80
+        assert counters[0].extras["fused_tasks"] == 2
+        assert counters[0].extras["fused_walks"] == 200
+
+    def test_step_attribution_exact_with_vectorized(self, poisson_weights):
+        # One task walks from an isolated node (0 steps, always); the other
+        # from a clique.  Exact attribution must give the isolated task 0.
+        graph = Graph(6, [(1, 2), (1, 3), (2, 3)])
+        tasks = [
+            WalkTask("poisson", np.full(50, 5, dtype=np.int64), weights=poisson_weights),
+            WalkTask("poisson", np.full(50, 1, dtype=np.int64), weights=poisson_weights),
+        ]
+        counters = [OperationCounters(), OperationCounters()]
+        run_walk_tasks(
+            "vectorized", graph, tasks, np.random.default_rng(6),
+            counters_list=counters,
+        )
+        assert counters[0].walk_steps == 0
+        assert counters[1].walk_steps > 0
+        assert "walk_steps_attribution" not in counters[0].extras
+
+    def test_step_attribution_sums_match_total(self, two_cliques, poisson_weights):
+        for backend_name in available_backends():
+            tasks = [
+                WalkTask(
+                    "poisson", np.zeros(70, dtype=np.int64), weights=poisson_weights
+                ),
+                WalkTask(
+                    "poisson", np.full(30, 7, dtype=np.int64), weights=poisson_weights
+                ),
+            ]
+            counters = [OperationCounters(), OperationCounters()]
+            scratch = OperationCounters()
+            backend = get_backend(backend_name)
+            rng = np.random.default_rng(11)
+            ends = run_walk_tasks(
+                backend, two_cliques, tasks, rng, counters_list=counters
+            )
+            # Re-run the same fused batch directly for the ground-truth total.
+            rng2 = np.random.default_rng(11)
+            backend.poisson_walk_batch(
+                two_cliques,
+                np.concatenate([t.start_nodes for t in tasks]),
+                poisson_weights,
+                rng2,
+                counters=scratch,
+            )
+            total = counters[0].walk_steps + counters[1].walk_steps
+            assert total == scratch.walk_steps, backend_name
+            assert sum(e.size for e in ends) == 100
+
+    def test_proportional_attribution_with_mixed_none_counters(
+        self, two_cliques, poisson_weights
+    ):
+        # Tasks without counters must still consume their proportional
+        # share: the last counted task must not absorb the skipped tasks'
+        # steps.  (reference backend: no per-walk step support.)
+        tasks = [
+            WalkTask(
+                "poisson", np.zeros(100, dtype=np.int64), weights=poisson_weights
+            )
+            for _ in range(3)
+        ]
+        counters = [OperationCounters(), None, OperationCounters()]
+        run_walk_tasks(
+            "reference", two_cliques, tasks, np.random.default_rng(21),
+            counters_list=counters,
+        )
+        # Equal-size tasks: first and last shares differ only by rounding.
+        assert abs(counters[0].walk_steps - counters[2].walk_steps) <= 2
+        assert counters[0].extras["walk_steps_attribution"] == "proportional"
+
+    def test_incompatible_tasks_not_fused(self, two_cliques, poisson_weights):
+        # Different alpha values must run as separate kernel calls and
+        # therefore carry no fused_* extras.
+        tasks = [
+            WalkTask("geometric", np.zeros(40, dtype=np.int64), alpha=0.2),
+            WalkTask("geometric", np.zeros(40, dtype=np.int64), alpha=0.5),
+        ]
+        counters = [OperationCounters(), OperationCounters()]
+        run_walk_tasks(
+            "vectorized", two_cliques, tasks, np.random.default_rng(8),
+            counters_list=counters,
+        )
+        for tally in counters:
+            assert tally.random_walks == 40
+            assert "fused_tasks" not in tally.extras
+
+    def test_counters_list_length_mismatch_rejected(self, two_cliques, poisson_weights):
+        tasks = [
+            WalkTask("poisson", np.zeros(5, dtype=np.int64), weights=poisson_weights)
+        ]
+        with pytest.raises(ParameterError, match="counters_list"):
+            run_walk_tasks(
+                "vectorized", two_cliques, tasks, np.random.default_rng(0),
+                counters_list=[],
+            )
+
+    def test_empty_task_list(self, two_cliques):
+        assert run_walk_tasks(
+            "vectorized", two_cliques, [], np.random.default_rng(0)
+        ) == []
+
+    def test_fusion_respects_walk_cap(self, two_cliques, poisson_weights):
+        # Ten 100-walk tasks under a 250-walk cap: sub-batches of at most
+        # 2 tasks, never one giant concatenated kernel call.
+        tasks = [
+            WalkTask(
+                "poisson",
+                np.full(100, (i % 2) * 7, dtype=np.int64),
+                weights=poisson_weights,
+            )
+            for i in range(10)
+        ]
+        counters = [OperationCounters() for _ in tasks]
+        ends = run_walk_tasks(
+            "vectorized", two_cliques, tasks, np.random.default_rng(12),
+            counters_list=counters, max_fused_walks=250,
+        )
+        for i, tally in enumerate(counters):
+            assert tally.random_walks == 100
+            assert tally.extras["fused_walks"] <= 250
+            assert tally.extras["fused_tasks"] == 2
+            expected_component = (ends[i] >= 5) if i % 2 else (ends[i] < 5)
+            assert expected_component.all()
+
+    def test_oversized_single_task_still_runs(self, two_cliques, poisson_weights):
+        # A lone task above the cap is executed as-is (plans chunk their own
+        # tasks; direct callers may exceed deliberately).
+        task = WalkTask(
+            "poisson", np.zeros(300, dtype=np.int64), weights=poisson_weights
+        )
+        ends = run_walk_tasks(
+            "vectorized", two_cliques, [task], np.random.default_rng(13),
+            max_fused_walks=100,
+        )
+        assert ends[0].size == 300
+
+    def test_invalid_fusion_cap_rejected(self, two_cliques, poisson_weights):
+        task = WalkTask(
+            "poisson", np.zeros(5, dtype=np.int64), weights=poisson_weights
+        )
+        with pytest.raises(ParameterError, match="max_fused_walks"):
+            run_walk_tasks(
+                "vectorized", two_cliques, [task], np.random.default_rng(0),
+                max_fused_walks=0,
+            )
+
+    def test_heat_tasks_fuse_across_hops(self, two_cliques, poisson_weights):
+        # Same weights but different per-walk hop offsets still fuse (hops
+        # are per-walk data, not a kernel parameter).
+        tasks = [
+            WalkTask(
+                "heat", np.zeros(60, dtype=np.int64), hop_offsets=0,
+                weights=poisson_weights,
+            ),
+            WalkTask(
+                "heat", np.full(40, 7, dtype=np.int64), hop_offsets=3,
+                weights=poisson_weights,
+            ),
+        ]
+        counters = [OperationCounters(), OperationCounters()]
+        ends = run_walk_tasks(
+            "vectorized", two_cliques, tasks, np.random.default_rng(9),
+            counters_list=counters,
+        )
+        assert counters[0].extras["fused_tasks"] == 2
+        assert (ends[0] < 5).all()
+        assert (ends[1] >= 5).all()
+
+
+@pytest.mark.statistical
+@pytest.mark.parametrize("backend_name", available_backends())
+def test_fused_task_distributions_match_exact_laws(backend_name, tiny_grid):
+    """Fusion must not change any task's endpoint distribution.
+
+    Three tasks with different start nodes (and one with a different kernel)
+    run fused; each task's endpoint histogram is chi-squared against its own
+    exact law — the statcheck harness applied *through* the fusion layer.
+    """
+    weights = PoissonWeights(5.0)
+    num_walks = 8000
+    tasks = [
+        WalkTask(
+            "poisson", np.zeros(num_walks, dtype=np.int64), weights=weights
+        ),
+        WalkTask(
+            "poisson", np.full(num_walks, 13, dtype=np.int64), weights=weights
+        ),
+        WalkTask(
+            "geometric", np.full(num_walks, 5, dtype=np.int64), alpha=0.25
+        ),
+    ]
+    ends = run_walk_tasks(
+        backend_name, tiny_grid, tasks, np.random.default_rng(424)
+    )
+    n = tiny_grid.num_nodes
+    chi_square_gof(
+        endpoint_counts(ends[0], n), poisson_probs(tiny_grid, 0, weights)
+    ).assert_ok(context=f"{backend_name}: fused poisson from 0")
+    chi_square_gof(
+        endpoint_counts(ends[1], n), poisson_probs(tiny_grid, 13, weights)
+    ).assert_ok(context=f"{backend_name}: fused poisson from 13")
+    chi_square_gof(
+        endpoint_counts(ends[2], n), geometric_probs(tiny_grid, 5, 0.25)
+    ).assert_ok(context=f"{backend_name}: fused geometric from 5")

@@ -3,9 +3,15 @@
 from __future__ import annotations
 
 import networkx as nx
+import numpy as np
 import pytest
 
 from repro.exceptions import GraphError
+from repro.graph.generators import (
+    complete_graph,
+    path_graph,
+    powerlaw_cluster_graph,
+)
 from repro.graph.graph import Graph
 from repro.graph.io import from_networkx, load_edge_list, save_edge_list, to_networkx
 
@@ -18,6 +24,68 @@ class TestEdgeListRoundTrip:
         assert loaded.num_nodes == small_ring.num_nodes
         assert loaded.num_edges == small_ring.num_edges
         assert set(labels) == set(range(10))
+
+    @pytest.mark.parametrize(
+        "graph_builder",
+        [
+            lambda: path_graph(25),
+            lambda: complete_graph(9),
+        ],
+        ids=["path", "complete"],
+    )
+    def test_round_trip_identical_csr(self, tmp_path, graph_builder):
+        """save -> load reproduces the exact CSR arrays.
+
+        On these graphs the edge scan (ascending ``u``, sorted neighbors)
+        first sees node ``k`` only after ``0..k-1``, so the loader's
+        first-seen compaction is the identity and the CSR layout must match
+        array for array.
+        """
+        graph = graph_builder()
+        path = tmp_path / "graph.txt"
+        save_edge_list(graph, path)
+        loaded, labels = load_edge_list(path)
+        assert labels == {node: node for node in range(graph.num_nodes)}
+        np.testing.assert_array_equal(loaded.indptr, graph.indptr)
+        np.testing.assert_array_equal(loaded.indices, graph.indices)
+        np.testing.assert_array_equal(loaded.degrees, graph.degrees)
+        assert loaded == graph
+
+    def test_round_trip_identical_csr_after_relabel(self, tmp_path):
+        """On an arbitrary graph the round trip is exact up to the returned
+        label mapping: relabelling the original through it reproduces the
+        loaded CSR arrays byte for byte."""
+        graph = powerlaw_cluster_graph(120, 3, 0.4, seed=13)
+        path = tmp_path / "plc.txt"
+        save_edge_list(graph, path)
+        loaded, labels = load_edge_list(path)
+        assert loaded.num_nodes == graph.num_nodes
+        assert loaded.num_edges == graph.num_edges
+        relabelled = Graph(
+            graph.num_nodes,
+            [(labels[u], labels[v]) for u, v in graph.edges()],
+        )
+        np.testing.assert_array_equal(loaded.indptr, relabelled.indptr)
+        np.testing.assert_array_equal(loaded.indices, relabelled.indices)
+        assert loaded == relabelled
+
+    def test_double_round_trip_is_stable(self, tmp_path):
+        """Each further save/load reproduces the previous CSR up to its mapping."""
+        graph = powerlaw_cluster_graph(80, 4, 0.2, seed=5)
+        first = tmp_path / "first.txt"
+        save_edge_list(graph, first)
+        loaded, _ = load_edge_list(first)
+        second = tmp_path / "second.txt"
+        save_edge_list(loaded, second)
+        reloaded, labels = load_edge_list(second)
+        assert reloaded.num_nodes == loaded.num_nodes
+        assert reloaded.num_edges == loaded.num_edges
+        relabelled = Graph(
+            loaded.num_nodes,
+            [(labels[u], labels[v]) for u, v in loaded.edges()],
+        )
+        np.testing.assert_array_equal(reloaded.indptr, relabelled.indptr)
+        np.testing.assert_array_equal(reloaded.indices, relabelled.indices)
 
     def test_load_with_comments_and_blank_lines(self, tmp_path):
         path = tmp_path / "graph.txt"

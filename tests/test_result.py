@@ -64,6 +64,22 @@ class TestSupportAndRanking:
         ranking = result.ranking(graph)
         assert ranking.index(0) < ranking.index(2)
 
+    def test_ranking_returns_fresh_list_despite_memo(self, star_result):
+        # The sweep mutates the list it gets back (inserts the seed); the
+        # memoized ranking must hand out a fresh copy every call.
+        graph, result = star_result
+        first = result.ranking(graph)
+        first.insert(0, 99)
+        second = result.ranking(graph)
+        assert second == [1, 0, 2]
+        assert second is not first
+
+    def test_ranking_memo_invalidated_when_support_changes(self, star_result):
+        graph, result = star_result
+        assert result.ranking(graph) == [1, 0, 2]
+        result.estimates[3] = 0.9  # normalized 0.9 -> new front-runner
+        assert result.ranking(graph) == [3, 1, 0, 2]
+
 
 class TestDense:
     def test_to_dense_shape_and_values(self, star_result):

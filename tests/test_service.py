@@ -1,0 +1,396 @@
+"""Tests for the online query-serving subsystem (:mod:`repro.service`)."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.exceptions import (
+    ServiceError,
+    ServiceExecutionError,
+    ServiceOverloadedError,
+)
+from repro.graph.generators import ring_graph
+from repro.service import GraphRegistry, QueryService, ServiceClient
+from repro.service.planner import QueryRequest, normalize_request
+from repro.service.registry import build_from_spec
+
+from statcheck import chi_square_gof, poisson_probs
+from repro.hkpr.poisson import PoissonWeights
+
+
+@pytest.fixture
+def registry(tiny_grid):
+    reg = GraphRegistry()
+    reg.add_graph("grid", tiny_grid)
+    return reg
+
+
+@pytest.fixture
+def service(registry):
+    with QueryService(registry, max_batch=8, rng=7) as svc:
+        yield svc
+
+
+class TestGraphRegistry:
+    def test_dataset_and_lookup(self):
+        reg = GraphRegistry()
+        entry = reg.add_dataset("grid3d-sim")
+        assert "grid3d-sim" in reg
+        assert reg.get("grid3d-sim") is entry
+        assert entry.graph.num_nodes > 0
+        assert entry.describe()["source"] == "dataset:grid3d-sim"
+
+    def test_unknown_graph_and_dataset(self):
+        reg = GraphRegistry()
+        with pytest.raises(ServiceError, match="unknown graph"):
+            reg.get("nope")
+        with pytest.raises(ServiceError, match="unknown dataset"):
+            reg.add_dataset("nope")
+
+    def test_edge_list_source(self, tmp_path):
+        from repro.graph.io import save_edge_list
+
+        path = tmp_path / "ring.txt"
+        save_edge_list(ring_graph(12), path)
+        reg = GraphRegistry()
+        entry = reg.add_edge_list(path, name="ring")
+        assert entry.graph.num_edges == 12
+        assert reg.names() == ["ring"]
+
+    def test_generator_specs(self):
+        graph = build_from_spec("chung-lu,n=500,gamma=2.5,seed=3")
+        assert graph.num_nodes == 500
+        graph = build_from_spec("grid3d,side=4")
+        assert graph.num_nodes == 64
+        with pytest.raises(ServiceError, match="unknown generator"):
+            build_from_spec("magic,n=10")
+        with pytest.raises(ServiceError, match="key=value"):
+            build_from_spec("chung-lu,n")
+        with pytest.raises(ServiceError, match="unknown parameter"):
+            build_from_spec("grid3d,bogus=1")
+
+    def test_poisson_weights_cached_per_t(self, registry):
+        entry = registry.get("grid")
+        assert entry.poisson_weights(5.0) is entry.poisson_weights(5.0)
+        assert entry.poisson_weights(5.0) is not entry.poisson_weights(10.0)
+
+
+class TestPlanner:
+    def test_unknown_method(self, registry):
+        with pytest.raises(ServiceError, match="unknown method"):
+            normalize_request("grid", "magic", 0)
+
+    def test_unknown_parameter(self):
+        with pytest.raises(ServiceError, match="unknown parameter"):
+            normalize_request("grid", "monte-carlo", 0, {"bogus": 1})
+
+    def test_parameter_casting_canonicalizes_cache_keys(self):
+        a = normalize_request("grid", "monte-carlo", 0, {"t": 5, "num_walks": "100"})
+        b = normalize_request("grid", "monte-carlo", 0, {"t": 5.0, "num_walks": 100})
+        assert a.cache_key() == b.cache_key()
+
+    def test_seed_validated_against_graph(self, registry):
+        with pytest.raises(ServiceError, match="not in graph"):
+            normalize_request(
+                "grid", "monte-carlo", 1_000_000, entry=registry.get("grid")
+            )
+
+    def test_out_of_range_parameters_rejected(self):
+        # A negative num_walks would drive the in-flight walk estimate
+        # negative and disable admission control — reject at admission.
+        for method, params in [
+            ("monte-carlo", {"num_walks": -500}),
+            ("monte-carlo", {"num_walks": 0}),
+            ("tea+", {"max_walks": -1}),
+            ("mc-ppr", {"alpha": 2.0}),
+            ("monte-carlo", {"t": -5.0}),
+            ("monte-carlo", {"eps_r": 1.5}),
+        ]:
+            with pytest.raises(ServiceError, match="out of range"):
+                normalize_request("grid", method, 0, params)
+
+    def test_pinned_requests_bypass_cache(self):
+        pinned = QueryRequest("g", "monte-carlo", 0, rng=3)
+        assert pinned.pinned and not pinned.cache_eligible()
+        unpinned = QueryRequest("g", "monte-carlo", 0)
+        assert unpinned.cache_eligible()
+        # Deterministic methods stay cacheable even when pinned.
+        assert QueryRequest("g", "hk-relax", 0, rng=3).cache_eligible()
+
+    def test_top_k_not_in_cache_key(self):
+        a = QueryRequest("g", "monte-carlo", 0, top_k=5)
+        b = QueryRequest("g", "monte-carlo", 0, top_k=50)
+        assert a.cache_key() == b.cache_key()
+
+
+class TestQueryService:
+    def test_methods_end_to_end(self, service):
+        for method, params in [
+            ("monte-carlo", {"num_walks": 300}),
+            ("tea+", {}),
+            ("tea", {"max_walks": 500}),
+            ("hk-relax", {}),
+            ("exact", {}),
+            ("mc-ppr", {"num_walks": 300, "alpha": 0.2}),
+            ("fora", {"max_walks": 500}),
+        ]:
+            response = service.query("grid", method, 0, params)
+            assert response.result.seed == 0
+            assert response.result.support_size() > 0
+            assert response.latency_seconds >= 0
+
+    def test_negative_walk_budget_rejected_at_submit(self, service):
+        with pytest.raises(ServiceError, match="out of range"):
+            service.submit("grid", "monte-carlo", 0, {"num_walks": -500})
+        # Admission accounting is untouched by the rejection.
+        assert service.stats()["inflight_walks"] == 0
+
+    def test_batches_spanning_graphs_stay_separate(self, registry, small_ring):
+        # Queries for different graphs co-batched in one dispatch cycle must
+        # each run on their own graph (endpoints in their own node range).
+        registry.add_graph("ring", small_ring)
+        with QueryService(registry, max_batch=16, cache_entries=0, rng=3) as svc:
+            futures = []
+            for i in range(8):
+                graph = "grid" if i % 2 == 0 else "ring"
+                futures.append(
+                    svc.submit(graph, "monte-carlo", i % 10, {"num_walks": 150})
+                )
+            for i, future in enumerate(futures):
+                response = future.result(timeout=30)
+                limit = 27 if i % 2 == 0 else 10
+                assert all(node < limit for node in response.result.support())
+
+    def test_concurrent_queries_fuse(self, service):
+        futures = [
+            service.submit("grid", "monte-carlo", i % 27, {"num_walks": 200})
+            for i in range(16)
+        ]
+        responses = [f.result(timeout=30) for f in futures]
+        assert all(r.result.counters.random_walks == 200 for r in responses)
+        # At least some dispatch cycles held more than one request.
+        assert service.stats()["batches"]["max_occupancy"] > 1
+
+    def test_cache_hit_on_repeat(self, service):
+        first = service.query("grid", "monte-carlo", 3, {"num_walks": 200})
+        second = service.query("grid", "monte-carlo", 3, {"num_walks": 200})
+        assert not first.cached
+        assert second.cached
+        assert second.result is first.result
+        assert service.stats()["cache"]["hits"] == 1
+
+    def test_pinned_queries_reproducible_and_uncached(self, service):
+        a = service.query("grid", "monte-carlo", 3, {"num_walks": 200}, rng=42)
+        b = service.query("grid", "monte-carlo", 3, {"num_walks": 200}, rng=42)
+        assert not a.cached and not b.cached
+        assert a.result.estimates.to_dict() == b.result.estimates.to_dict()
+        # A different pin gives a different sample (overwhelmingly likely).
+        c = service.query("grid", "monte-carlo", 3, {"num_walks": 200}, rng=43)
+        assert c.result.estimates.to_dict() != a.result.estimates.to_dict()
+
+    def test_invalid_requests_rejected_at_submit(self, service):
+        with pytest.raises(ServiceError, match="unknown graph"):
+            service.submit("nope", "monte-carlo", 0)
+        with pytest.raises(ServiceError, match="unknown method"):
+            service.submit("grid", "magic", 0)
+        with pytest.raises(ServiceError, match="not in graph"):
+            service.submit("grid", "monte-carlo", 10_000)
+
+    def test_admission_control_inflight_walks(self, registry):
+        with QueryService(
+            registry, max_batch=4, max_inflight_walks=500, cache_entries=0
+        ) as svc:
+            first = svc.submit("grid", "monte-carlo", 0, {"num_walks": 400})
+            saw_rejection = False
+            try:
+                svc.submit("grid", "monte-carlo", 1, {"num_walks": 400})
+            except ServiceOverloadedError:
+                saw_rejection = True
+            first.result(timeout=30)
+            if not saw_rejection:
+                # The first query may already have completed; the budget
+                # must then be released and a new submit admitted.
+                svc.query("grid", "monte-carlo", 2, {"num_walks": 400})
+            else:
+                assert svc.stats()["rejected_total"] == 1
+
+    def test_stats_shape(self, service):
+        service.query("grid", "monte-carlo", 0, {"num_walks": 100})
+        stats = service.stats()
+        for key in (
+            "uptime_seconds", "requests_total", "latency_ms", "batches",
+            "walks", "cache", "queue", "backend", "graphs", "inflight_walks",
+        ):
+            assert key in stats
+        assert stats["walks"]["total"] >= 100
+        assert stats["graphs"] == ["grid"]
+        assert json.dumps(stats)  # JSON-able end to end
+
+    def test_stop_fails_queued_requests(self, registry):
+        svc = QueryService(registry, max_batch=1)
+        svc.start()
+        svc.stop()
+        with pytest.raises(ServiceOverloadedError):
+            svc.submit("grid", "monte-carlo", 0, {"num_walks": 10})
+
+    def test_cancelled_future_does_not_kill_the_dispatch_thread(self, service):
+        # A client cancelling its future must not crash the batcher when it
+        # later tries to resolve it; the service keeps serving.
+        for _ in range(5):
+            future = service.submit("grid", "monte-carlo", 0, {"num_walks": 100})
+            future.cancel()  # may or may not win the race with dispatch
+        response = service.query(
+            "grid", "monte-carlo", 1, {"num_walks": 100}, timeout=30
+        )
+        assert response.result.counters.random_walks == 100
+        assert service.stats()["inflight_walks"] == 0
+
+    def test_internal_execution_failure_is_not_a_client_error(self, registry):
+        # A backend blowing up mid-batch must surface as
+        # ServiceExecutionError (HTTP 500), not a ReproError (HTTP 400).
+        class ExplodingBackend:
+            name = "exploding"
+
+            def walk_batch(self, *args, **kwargs):
+                raise RuntimeError("kernel crashed")
+
+            def poisson_walk_batch(self, *args, **kwargs):
+                raise RuntimeError("kernel crashed")
+
+            def geometric_walk_batch(self, *args, **kwargs):
+                raise RuntimeError("kernel crashed")
+
+        with QueryService(
+            registry, max_batch=4, cache_entries=0, backend=ExplodingBackend()
+        ) as svc:
+            future = svc.submit("grid", "monte-carlo", 0, {"num_walks": 50})
+            with pytest.raises(ServiceExecutionError, match="batch execution failed"):
+                future.result(timeout=30)
+            # The failed query's walk estimate was released.
+            assert svc.stats()["inflight_walks"] == 0
+            assert svc.stats()["errors_total"] == 1
+
+
+class TestServiceClient:
+    def test_query_dict_envelope(self, service):
+        client = ServiceClient(service)
+        payload = client.query_dict(
+            "grid", "monte-carlo", 5, {"num_walks": 300}, top_k=7
+        )
+        assert payload["graph"] == "grid"
+        assert payload["seed_node"] == 5
+        assert len(payload["top"]) <= 7
+        node, score = payload["top"][0]
+        assert isinstance(node, int) and score > 0
+        assert payload["counters"]["random_walks"] == 300
+        assert client.graphs()[0]["name"] == "grid"
+        assert client.stats()["requests_total"] >= 1
+
+
+class TestHTTPFrontend:
+    @pytest.fixture
+    def http_service(self, registry):
+        from repro.service.http import serve_in_thread
+
+        with QueryService(registry, max_batch=8, rng=5) as svc:
+            server, thread = serve_in_thread(svc, "127.0.0.1", 0)
+            try:
+                yield f"http://127.0.0.1:{server.server_address[1]}", svc
+            finally:
+                server.shutdown()
+                server.server_close()
+
+    def _post(self, base, body):
+        request = urllib.request.Request(
+            f"{base}/query",
+            data=json.dumps(body).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return json.loads(response.read())
+
+    def test_query_stats_graphs_healthz(self, http_service):
+        base, _ = http_service
+        payload = self._post(
+            base,
+            {"graph": "grid", "method": "monte-carlo", "seed_node": 2,
+             "params": {"num_walks": 200}, "top_k": 5},
+        )
+        assert payload["seed_node"] == 2
+        assert len(payload["top"]) <= 5
+        with urllib.request.urlopen(f"{base}/healthz", timeout=10) as response:
+            assert json.loads(response.read()) == {"status": "ok"}
+        with urllib.request.urlopen(f"{base}/stats", timeout=10) as response:
+            assert json.loads(response.read())["requests_total"] >= 1
+        with urllib.request.urlopen(f"{base}/graphs", timeout=10) as response:
+            assert json.loads(response.read())["graphs"][0]["name"] == "grid"
+
+    def test_error_statuses(self, http_service):
+        base, _ = http_service
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self._post(base, {"graph": "nope", "method": "monte-carlo", "seed_node": 0})
+        assert excinfo.value.code == 400
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self._post(base, {"graph": "grid"})
+        assert excinfo.value.code == 400
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(f"{base}/bogus", timeout=10)
+        assert excinfo.value.code == 404
+
+    def test_oversized_body_rejected_and_connection_closed(self, http_service):
+        base, _ = http_service
+        request = urllib.request.Request(
+            f"{base}/query",
+            data=b"x" * (2 << 20),
+            headers={"Content-Type": "application/json"},
+        )
+        # The server answers 400 and closes without draining the body; the
+        # client sees either the 400 or a connection error mid-upload,
+        # depending on how much it managed to send first.
+        with pytest.raises(
+            (urllib.error.HTTPError, urllib.error.URLError, ConnectionError)
+        ) as excinfo:
+            urllib.request.urlopen(request, timeout=30)
+        if isinstance(excinfo.value, urllib.error.HTTPError):
+            assert excinfo.value.code == 400
+            assert excinfo.value.headers.get("Connection") == "close"
+        # Either way the server must stay healthy for subsequent requests.
+        payload = self._post(
+            base,
+            {"graph": "grid", "method": "monte-carlo", "seed_node": 1,
+             "params": {"num_walks": 100}},
+        )
+        assert payload["seed_node"] == 1
+
+
+@pytest.mark.statistical
+def test_service_batched_answers_match_exact_law(registry):
+    """Queries answered through the fused serving path follow the exact law.
+
+    16 concurrent Monte-Carlo queries for one seed are submitted together so
+    the micro-batcher fuses them; the pooled reconstructed endpoint counts
+    are chi-squared against the dense Poisson endpoint law — the statcheck
+    harness applied to the *service*, not the estimator.
+    """
+    walks = 2000
+    graph = registry.get("grid").graph
+    with QueryService(registry, max_batch=16, cache_entries=0, rng=99) as svc:
+        futures = [
+            svc.submit("grid", "monte-carlo", 0, {"num_walks": walks})
+            for _ in range(16)
+        ]
+        counts = np.zeros(graph.num_nodes)
+        fused_any = False
+        for future in futures:
+            response = future.result(timeout=60)
+            fused_any = fused_any or response.batch_size > 1
+            counts += np.rint(response.result.to_dense(graph) * walks)
+    assert fused_any, "no dispatch cycle fused more than one request"
+    chi_square_gof(
+        counts, poisson_probs(graph, 0, PoissonWeights(5.0))
+    ).assert_ok(context="service fused monte-carlo")
