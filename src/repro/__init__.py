@@ -10,6 +10,9 @@ provides:
   HK-Relax, SimpleLocal, CRD, plus Nibble and PR-Nibble),
 * the shared local-clustering machinery (conductance, sweep cut, quality
   metrics, NDCG ranking accuracy),
+* a unified estimator registry (:mod:`repro.estimators`): one declarative
+  :class:`~repro.estimators.spec.EstimatorSpec` per method drives the
+  library, the server, the CLI and the benchmark harness at once,
 * a graph substrate with synthetic generators standing in for the paper's
   SNAP datasets,
 * a benchmark harness that regenerates every table and figure of the
@@ -39,7 +42,6 @@ from repro.clustering import (
 from repro.graph import Graph, from_networkx, load_edge_list, save_edge_list, to_networkx
 from repro.graph import generators
 from repro.hkpr import (
-    ESTIMATORS,
     HKPRParams,
     HKPRResult,
     cluster_hkpr,
@@ -49,12 +51,28 @@ from repro.hkpr import (
     tea,
     tea_plus,
 )
+from repro import estimators
+from repro.estimators import estimate
 
 __version__ = "1.0.0"
+
+
+def __getattr__(name: str):
+    # Derived live from the unified registry (repro.estimators), like
+    # repro.hkpr.ESTIMATORS, so the two spellings can never diverge.  The
+    # table is a read-only snapshot view: extend the registry with
+    # repro.estimators.register(), not by mutating this dict.
+    if name == "ESTIMATORS":
+        from repro.hkpr import ESTIMATORS
+
+        return ESTIMATORS
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "ESTIMATORS",
     "Graph",
+    "estimate",
+    "estimators",
     "HKPRParams",
     "HKPRResult",
     "LocalClusteringResult",

@@ -15,14 +15,16 @@ the benchmark harness can treat every method uniformly.
 
 from repro.baselines.common import BaselineClusteringResult
 from repro.baselines.crd import capacity_releasing_diffusion
-from repro.baselines.nibble import nibble
-from repro.baselines.pr_nibble import pr_nibble
+from repro.baselines.nibble import nibble, nibble_hkpr
+from repro.baselines.pr_nibble import pr_nibble, pr_nibble_hkpr
 from repro.baselines.simple_local import simple_local
 
 __all__ = [
     "BaselineClusteringResult",
     "capacity_releasing_diffusion",
     "nibble",
+    "nibble_hkpr",
     "pr_nibble",
+    "pr_nibble_hkpr",
     "simple_local",
 ]

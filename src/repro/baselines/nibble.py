@@ -17,7 +17,39 @@ from repro.baselines.common import BaselineClusteringResult
 from repro.clustering.sweep import SweepResult, sweep_from_ranking
 from repro.exceptions import ParameterError
 from repro.graph.graph import Graph
+from repro.hkpr.result import HKPRResult
+from repro.utils.counters import OperationCounters
 from repro.utils.sparsevec import SparseVector
+
+
+def lazy_walk_step(
+    graph: Graph, distribution: SparseVector, truncation: float
+) -> tuple[SparseVector, int]:
+    """One truncated lazy-walk step ``q <- trunc(q W)``; returns (q', work).
+
+    Applies ``W = (I + D^{-1} A) / 2`` to ``distribution`` and zeroes
+    entries whose degree-normalized value falls below ``truncation`` (unless
+    that would empty the vector, in which case the un-truncated update is
+    kept).  Shared by :func:`nibble` and :func:`nibble_hkpr`.
+    """
+    updated = SparseVector()
+    work = 0
+    for node, mass in distribution.items():
+        degree = graph.degree(node)
+        # Lazy walk: keep half, spread half over the neighbors.
+        updated.add(node, mass / 2.0)
+        if degree > 0:
+            share = mass / (2.0 * degree)
+            for neighbor in graph.neighbors(node):
+                updated.add(int(neighbor), share)
+                work += 1
+    # Truncate small degree-normalized entries to keep the support local.
+    truncated = SparseVector()
+    for node, mass in updated.items():
+        degree = max(graph.degree(node), 1)
+        if mass / degree >= truncation:
+            truncated[node] = mass
+    return (truncated if truncated.nnz() > 0 else updated), work
 
 
 def nibble(
@@ -50,23 +82,8 @@ def nibble(
     work = 0
 
     for _ in range(steps):
-        updated = SparseVector()
-        for node, mass in distribution.items():
-            degree = graph.degree(node)
-            # Lazy walk: keep half, spread half over the neighbors.
-            updated.add(node, mass / 2.0)
-            if degree > 0:
-                share = mass / (2.0 * degree)
-                for neighbor in graph.neighbors(node):
-                    updated.add(int(neighbor), share)
-                    work += 1
-        # Truncate small degree-normalized entries to keep the support local.
-        truncated = SparseVector()
-        for node, mass in updated.items():
-            degree = max(graph.degree(node), 1)
-            if mass / degree >= truncation:
-                truncated[node] = mass
-        distribution = truncated if truncated.nnz() > 0 else updated
+        distribution, step_work = lazy_walk_step(graph, distribution, truncation)
+        work += step_work
 
         ranking = sorted(
             distribution.keys(),
@@ -91,4 +108,43 @@ def nibble(
         elapsed_seconds=elapsed,
         work=work,
         details={"support_size": float(distribution.nnz())},
+    )
+
+
+def nibble_hkpr(
+    graph: Graph,
+    seed_node: int,
+    *,
+    steps: int = 20,
+    truncation: float = 1e-5,
+) -> HKPRResult:
+    """Nibble's diffusion vector in the unified estimator envelope.
+
+    Runs ``steps`` truncated lazy-walk steps and returns the *final*
+    distribution as an :class:`HKPRResult`, so the registry, the sweep cut
+    and the serving layer can treat Nibble like any other diffusion
+    estimator.  Note the difference from :func:`nibble`, which sweeps after
+    *every* step and keeps the best cut seen — sweeping this vector
+    reproduces only the final step's cut.
+    """
+    if not graph.has_node(seed_node):
+        raise ParameterError(f"seed node {seed_node} is not in the graph")
+    if steps < 1:
+        raise ParameterError(f"steps must be >= 1, got {steps}")
+    if truncation < 0:
+        raise ParameterError(f"truncation must be non-negative, got {truncation}")
+    start = time.perf_counter()
+    distribution = SparseVector({seed_node: 1.0})
+    counters = OperationCounters()
+    for _ in range(steps):
+        distribution, work = lazy_walk_step(graph, distribution, truncation)
+        counters.record_pushes(work)
+    counters.extras["steps"] = float(steps)
+    counters.reserve_entries = distribution.nnz()
+    return HKPRResult(
+        estimates=distribution,
+        seed=seed_node,
+        method="nibble",
+        counters=counters,
+        elapsed_seconds=time.perf_counter() - start,
     )

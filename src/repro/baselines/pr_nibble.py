@@ -21,6 +21,8 @@ from repro.baselines.common import BaselineClusteringResult
 from repro.clustering.sweep import sweep_from_ranking
 from repro.exceptions import ParameterError
 from repro.graph.graph import Graph
+from repro.hkpr.result import HKPRResult
+from repro.utils.counters import OperationCounters
 from repro.utils.sparsevec import SparseVector
 
 
@@ -100,4 +102,36 @@ def pr_nibble(
         elapsed_seconds=elapsed,
         work=pushes,
         details={"support_size": float(reserve.nnz())},
+    )
+
+
+def pr_nibble_hkpr(
+    graph: Graph,
+    seed_node: int,
+    *,
+    alpha: float = 0.15,
+    eps: float = 1e-4,
+) -> HKPRResult:
+    """PR-Nibble's approximate PPR vector in the unified estimator envelope.
+
+    The Andersen–Chung–Lang push reserve, returned as an
+    :class:`HKPRResult` so the registry, the sweep cut and the serving
+    layer can rank it like any other diffusion vector.  Sweeping it yields
+    exactly :func:`pr_nibble`'s cluster (both order by ``p[v]/d(v)``).
+    """
+    start = time.perf_counter()
+    reserve, residual, pushes = approximate_ppr(graph, seed_node, alpha=alpha, eps=eps)
+    counters = OperationCounters()
+    counters.record_pushes(pushes)
+    # Unsettled push mass; named to avoid colliding with the method's own
+    # ``alpha`` (teleport probability) parameter in telemetry.
+    counters.extras["residual_mass"] = residual.sum()
+    counters.residue_entries = residual.nnz()
+    counters.reserve_entries = reserve.nnz()
+    return HKPRResult(
+        estimates=reserve,
+        seed=seed_node,
+        method="pr-nibble",
+        counters=counters,
+        elapsed_seconds=time.perf_counter() - start,
     )

@@ -12,32 +12,28 @@ from __future__ import annotations
 import statistics
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any
 
-from repro.baselines import capacity_releasing_diffusion, simple_local
 from repro.clustering.local import local_cluster
 from repro.clustering.sweep import sweep_cut
+from repro.estimators import resolve
 from repro.exceptions import ParameterError
 from repro.graph.graph import Graph
-from repro.hkpr import ESTIMATORS, backend_estimator_kwargs
-from repro.hkpr.params import HKPRParams
+from repro.hkpr import backend_estimator_kwargs
+from repro.hkpr.params import HKPRParams, default_delta
 from repro.utils.rng import RandomState, ensure_rng
-
-#: Flow-based baselines that do not go through the HKPR estimator registry.
-FLOW_METHODS: dict[str, Callable[..., Any]] = {
-    "simple-local": simple_local,
-    "crd": capacity_releasing_diffusion,
-}
 
 
 @dataclass
 class MethodConfig:
     """One (method, parameter setting) combination to evaluate.
 
-    ``estimator_kwargs`` is forwarded to the estimator; ``params`` overrides
-    the experiment-wide :class:`HKPRParams` when a sweep varies them.
-    ``backend`` selects the walk execution engine (see :mod:`repro.engine`)
-    for estimators with a walk phase; ``None`` uses the process default.
+    ``method`` is any name (or alias) registered in the unified estimator
+    registry (:mod:`repro.estimators`).  ``estimator_kwargs`` is forwarded
+    to the estimator; ``params`` overrides the experiment-wide
+    :class:`HKPRParams` when a sweep varies them.  ``backend`` selects the
+    walk execution engine (see :mod:`repro.engine`) for estimators with a
+    walk phase; ``None`` uses the process default.
     """
 
     method: str
@@ -87,6 +83,23 @@ class QueryRecord:
         return row
 
 
+def _effective_params(spec, graph: Graph, config: MethodConfig, params):
+    """The :class:`HKPRParams` to use for one query, or ``None``.
+
+    Experiment drivers pass one experiment-wide ``params`` to *every*
+    config in a sweep; methods outside the HKPR-params convention (nibble,
+    mc-ppr, ...) simply don't receive it.  A ``config.params`` set
+    explicitly on such a method is kept, so the estimator raises its clear
+    "does not take HKPRParams" error instead of silently dropping it.
+    """
+    if not spec.accepts_params_object:
+        return config.params
+    effective = config.params or params
+    if effective is None:
+        effective = HKPRParams(delta=default_delta(graph))
+    return effective
+
+
 def sample_seed_nodes(
     graph: Graph,
     count: int,
@@ -114,15 +127,21 @@ def run_clustering_query(
     params: HKPRParams | None = None,
     rng: RandomState = None,
 ) -> QueryRecord:
-    """Run one local clustering query and collect its measurements."""
-    effective_params = config.params or params or HKPRParams(
-        delta=1.0 / max(graph.num_nodes, 2)
-    )
-    method = config.method
+    """Run one local clustering query and collect its measurements.
 
-    if method in FLOW_METHODS:
+    ``config.method`` is resolved through the unified estimator registry
+    (:mod:`repro.estimators`): sweepable methods run the full
+    estimate-and-sweep pipeline via :func:`local_cluster`, flow-based
+    baselines (``simple-local``, ``crd``) run their own clustering entry
+    point — the registry's capability flags decide, with no harness-level
+    method table.
+    """
+    spec = resolve(config.method)
+    method = spec.name
+
+    if not spec.sweepable:
         start = time.perf_counter()
-        outcome = FLOW_METHODS[method](graph, seed_node, **config.estimator_kwargs)
+        outcome = spec.cluster(graph, seed_node, **config.estimator_kwargs)
         elapsed = time.perf_counter() - start
         return QueryRecord(
             dataset=dataset,
@@ -137,11 +156,7 @@ def run_clustering_query(
             extras={},
         )
 
-    if method not in ESTIMATORS:
-        raise ParameterError(
-            f"unknown method {method!r}; expected one of "
-            f"{sorted(ESTIMATORS) + sorted(FLOW_METHODS)}"
-        )
+    effective_params = _effective_params(spec, graph, config, params)
     outcome = local_cluster(
         graph,
         seed_node,
@@ -211,17 +226,23 @@ def estimate_hkpr_only(
     params: HKPRParams | None = None,
     rng: RandomState = None,
 ):
-    """Run only the HKPR estimation (no sweep); used by the NDCG experiment."""
-    effective_params = config.params or params or HKPRParams(
-        delta=1.0 / max(graph.num_nodes, 2)
-    )
-    if config.method not in ESTIMATORS:
-        raise ParameterError(f"method {config.method!r} is not an HKPR estimator")
-    estimator = ESTIMATORS[config.method]
-    if config.method == "exact":
-        return estimator(graph, seed_node, effective_params, **config.resolved_kwargs())
-    return estimator(
-        graph, seed_node, effective_params, rng=rng, **config.resolved_kwargs()
+    """Run only the HKPR estimation (no sweep); used by the NDCG experiment.
+
+    Restricted to HKPR-family methods: the NDCG experiment scores rankings
+    against exact-HKPR ground truth, so a PPR or lazy-walk vector here
+    would produce a meaningless row rather than an error.
+    """
+    spec = resolve(config.method)
+    if spec.family != "hkpr" or not spec.sweepable:
+        raise ParameterError(f"method {spec.name!r} is not an HKPR estimator")
+    effective_params = _effective_params(spec, graph, config, params)
+    return spec.estimate(
+        graph,
+        seed_node,
+        params=effective_params,
+        rng=rng,
+        estimator_kwargs=config.estimator_kwargs,
+        backend=config.backend,
     )
 
 

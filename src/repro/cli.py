@@ -1,10 +1,13 @@
 """Command-line interface for local clustering queries and experiments.
 
-Three subcommands cover the workflows a downstream user needs without
+The subcommands cover the workflows a downstream user needs without
 writing Python:
 
 * ``repro-cli cluster``  — one local clustering query on an edge-list file
   (or a named benchmark surrogate), printing the cluster and its statistics.
+* ``repro-cli methods``  — list every estimation method in the unified
+  registry (:mod:`repro.estimators`) with its family, capability flags,
+  aliases and declarative parameter schema.
 * ``repro-cli datasets`` — list the built-in benchmark surrogates with their
   Table-7 statistics.
 * ``repro-cli backends`` — list the registered walk-execution backends
@@ -16,14 +19,20 @@ writing Python:
 * ``repro-cli serve`` — start the online query server (:mod:`repro.service`)
   on one or more graphs, exposing the JSON-over-HTTP API.
 
+Method names, parameter validation and help text for ``cluster`` are all
+rendered from the estimator registry — the CLI keeps no method table.
+
 Examples
 --------
 ::
 
+    python -m repro.cli methods
     python -m repro.cli datasets
     python -m repro.cli backends
     python -m repro.cli cluster --dataset dblp-sim --seed-node 42 --method tea+
     python -m repro.cli cluster --edge-list my_graph.txt --seed-node 7 --t 10
+    python -m repro.cli cluster --dataset dblp-sim --seed-node 42 --method nibble \\
+        --param steps=25 --param truncation=1e-5
     python -m repro.cli cluster --dataset dblp-sim --seed-node 42 --backend parallel
     python -m repro.cli experiment figure3 --datasets grid3d-sim --num-seeds 2
     python -m repro.cli serve --dataset dblp-sim --port 8355
@@ -37,16 +46,16 @@ import os
 import sys
 from collections.abc import Sequence
 
+from repro import estimators
 from repro.bench import experiments as experiment_drivers
 from repro.bench.datasets import DATASETS, dataset_statistics, load_dataset
 from repro.bench.reporting import format_rows
-from repro.clustering.local import SUPPORTED_METHODS, local_cluster
+from repro.clustering.local import local_cluster
 from repro.engine import backend_descriptions, default_backend_name, get_backend
 from repro.engine.parallel import WORKERS_ENV_VAR, default_worker_count
 from repro.exceptions import ReproError
 from repro.graph.io import load_edge_list
-from repro.hkpr import backend_estimator_kwargs
-from repro.hkpr.params import HKPRParams
+from repro.hkpr.params import HKPRParams, default_delta
 
 #: Experiment names accepted by the ``experiment`` subcommand.
 EXPERIMENTS = {
@@ -77,7 +86,24 @@ def build_parser() -> argparse.ArgumentParser:
     source.add_argument("--edge-list", help="path to a whitespace-separated edge list")
     cluster.add_argument("--seed-node", type=int, required=True, help="seed node id")
     cluster.add_argument(
-        "--method", choices=sorted(SUPPORTED_METHODS), default="tea+", help="HKPR estimator"
+        "--method",
+        default="tea+",
+        metavar="METHOD",
+        help=(
+            "estimation method, by registry name or alias "
+            f"(default tea+; one of: {', '.join(estimators.method_names(sweepable=True))}; "
+            "see `repro-cli methods`)"
+        ),
+    )
+    cluster.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help=(
+            "method-specific parameter (repeatable), validated against the "
+            "method's declared schema, e.g. --param num_walks=20000"
+        ),
     )
     try:
         backend_default = default_backend_name()
@@ -93,15 +119,25 @@ def build_parser() -> argparse.ArgumentParser:
             f"(default: {backend_default}; see `repro-cli backends`)"
         ),
     )
-    cluster.add_argument("--t", type=float, default=5.0, help="heat constant (default 5)")
-    cluster.add_argument("--eps-r", type=float, default=0.5, help="relative error bound")
+    cluster.add_argument(
+        "--t", type=float, default=None, help="heat constant (default 5)"
+    )
+    cluster.add_argument(
+        "--eps-r", type=float, default=None, help="relative error bound (default 0.5)"
+    )
     cluster.add_argument(
         "--delta", type=float, default=None, help="significance threshold (default 1/n)"
     )
-    cluster.add_argument("--p-f", type=float, default=1e-6, help="failure probability")
+    cluster.add_argument(
+        "--p-f", type=float, default=None, help="failure probability (default 1e-6)"
+    )
     cluster.add_argument("--rng", type=int, default=None, help="random seed")
     cluster.add_argument(
         "--max-members", type=int, default=20, help="cluster members to print (default 20)"
+    )
+
+    subparsers.add_parser(
+        "methods", help="list registered estimation methods and their parameters"
     )
 
     subparsers.add_parser("datasets", help="list built-in benchmark surrogates")
@@ -178,34 +214,101 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _parse_cli_params(spec, raw_params: list[str]) -> dict:
+    """Parse repeated ``--param key=value`` flags through the method's schema.
+
+    The registry's declarative validation is the single code path: unknown
+    keys, bad types and out-of-range values fail with the same messages the
+    service and the library produce.
+    """
+    raw: dict = {}
+    for item in raw_params:
+        key, separator, value = item.partition("=")
+        if not separator or not key:
+            raise ReproError(
+                f"--param expects KEY=VALUE, got {item!r}"
+            )
+        raw[key.strip()] = value.strip()
+    return spec.validate_params(raw)
+
+
 def _run_cluster(args: argparse.Namespace) -> int:
+    # Validate eagerly so an unknown method or backend fails with the
+    # registry's "expected one of [...]" message before any graph is
+    # loaded, even for methods that would silently ignore the keyword.
+    spec = estimators.resolve(args.method)
+    if not spec.sweepable:
+        raise ReproError(
+            f"method {spec.name!r} does not produce a sweepable vector; "
+            f"choose one of {sorted(estimators.method_names(sweepable=True))}"
+        )
     if args.backend is not None:
-        # Validate eagerly so an unknown name fails with the engine's
-        # "expected one of [...]" message before any graph is loaded, even
-        # for methods whose estimator would silently ignore the keyword.
         get_backend(args.backend)
+    estimator_kwargs = _parse_cli_params(spec, args.param)
+
     if args.dataset:
         graph = load_dataset(args.dataset)
         source = args.dataset
     else:
         graph, _ = load_edge_list(args.edge_list)
         source = args.edge_list
-    delta = args.delta if args.delta is not None else 1.0 / max(graph.num_nodes, 2)
-    params = HKPRParams(t=args.t, eps_r=args.eps_r, delta=delta, p_f=args.p_f)
 
-    estimator_kwargs = backend_estimator_kwargs(args.method, args.backend)
+    # The dedicated HKPR flags, keyed by parameter name; only explicitly-
+    # set ones are acted on, so defaults stay single-sourced in HKPRParams.
+    explicit_flags = {
+        name: value
+        for name, value in {
+            "t": args.t, "eps_r": args.eps_r,
+            "delta": args.delta, "p_f": args.p_f,
+        }.items()
+        if value is not None
+    }
+
+    # A knob set both ways is a contradiction, not a precedence question.
+    for name in explicit_flags:
+        if name in estimator_kwargs:
+            flag = "--" + name.replace("_", "-")
+            raise ReproError(
+                f"{name!r} was set by both {flag} and --param {name}=...; "
+                f"use one"
+            )
+
+    params = None
+    if spec.takes_params_object:
+        fields = dict(explicit_flags)
+        fields.setdefault("delta", default_delta(graph))
+        params = HKPRParams(**fields)
+    else:
+        # Methods outside the HKPRParams convention: flags whose name the
+        # method declares (e.g. --eps-r for fora) become estimator kwargs;
+        # undeclared ones (e.g. --t for nibble) are an error, never
+        # silently dropped.
+        declared = set(spec.param_names())
+        injected = {}
+        for name, value in explicit_flags.items():
+            flag = "--" + name.replace("_", "-")
+            if name not in declared:
+                raise ReproError(
+                    f"{flag} does not apply to method {spec.name!r}; pass "
+                    f"its knobs with --param (allowed: {sorted(declared)})"
+                )
+            injected[name] = value
+        for name, value in spec.validate_params(injected).items():
+            estimator_kwargs.setdefault(name, value)
+
     result = local_cluster(
         graph,
         args.seed_node,
-        method=args.method,
+        method=spec.name,
         params=params,
         rng=args.rng,
         estimator_kwargs=estimator_kwargs,
+        backend=args.backend,
     )
     counters = result.hkpr.counters
     print(f"graph           : {source} (n={graph.num_nodes}, m={graph.num_edges})")
     print(f"seed node       : {args.seed_node} (degree {graph.degree(args.seed_node)})")
-    print(f"method          : {args.method}")
+    print(f"method          : {result.method}")
     if "backend" in counters.extras:
         print(f"backend         : {counters.extras['backend']}")
     print(f"cluster size    : {result.size}")
@@ -216,6 +319,46 @@ def _run_cluster(args: argparse.Namespace) -> int:
     members = sorted(result.cluster)[: args.max_members]
     suffix = " ..." if result.size > args.max_members else ""
     print(f"members         : {' '.join(map(str, members))}{suffix}")
+    return 0
+
+
+def _run_methods(_: argparse.Namespace) -> int:
+    """Render the estimator registry: one row per method, then its schema."""
+    rows = []
+    for description in estimators.describe_methods():
+        flags = [
+            flag
+            for flag in ("fusible", "deterministic", "sweepable", "servable")
+            if description[flag]
+        ]
+        rows.append(
+            {
+                "method": description["name"],
+                "family": description["family"],
+                "flags": ",".join(flags) or "-",
+                "aliases": ", ".join(description["aliases"]) or "-",
+            }
+        )
+    print(
+        format_rows(
+            rows,
+            columns=["method", "family", "flags", "aliases"],
+            title="registered estimation methods",
+        )
+    )
+    print()
+    for spec in estimators.all_specs():
+        print(f"{spec.name} — {spec.doc}")
+        for param in spec.params:
+            print(
+                f"  {param.name}={param.default_text()} "
+                f"({param.type}, {param.range_text()}) {param.doc}"
+            )
+    print(
+        "\nselect with `repro-cli cluster --method NAME [--param KEY=VALUE]`, "
+        "`local_cluster(method=...)`, or POST /query; every method above "
+        "with the `servable` flag is accepted by `repro-cli serve`."
+    )
     return 0
 
 
@@ -339,7 +482,7 @@ def _run_serve(args: argparse.Namespace) -> int:
     )
     print(f"result cache    : {cache}")
     print(f"listening on    : http://{args.host}:{server.server_address[1]}")
-    print("endpoints       : POST /query   GET /stats /graphs /healthz")
+    print("endpoints       : POST /query   GET /stats /graphs /methods /healthz")
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
@@ -371,6 +514,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     handlers = {
         "cluster": _run_cluster,
+        "methods": _run_methods,
         "datasets": _run_datasets,
         "backends": _run_backends,
         "experiment": _run_experiment,

@@ -1,9 +1,16 @@
 """High-level local clustering API.
 
 ``local_cluster(graph, seed, method="tea+")`` runs the full two-phase
-pipeline of the paper: estimate an approximate HKPR vector with the chosen
-method, then sweep it for the lowest-conductance prefix.  It is the
+pipeline of the paper: estimate an approximate diffusion vector with the
+chosen method, then sweep it for the lowest-conductance prefix.  It is the
 one-stop entry point the examples and the benchmark harness use.
+
+Method dispatch goes through the unified estimator registry
+(:mod:`repro.estimators`): every registered *sweepable* method — the HKPR
+estimators, their push-only forms (``hk-push``, ``hk-push+``), the PPR
+mirrors (``fora``, ``mc-ppr``, ``exact-ppr``) and the sweepable classic
+baselines (``nibble``, ``pr-nibble``) — is accepted here, by canonical
+name or alias, with no clustering-layer method table to keep in sync.
 """
 
 from __future__ import annotations
@@ -18,10 +25,17 @@ from repro.hkpr.params import HKPRParams
 from repro.hkpr.result import HKPRResult
 from repro.utils.rng import RandomState
 
-#: Methods accepted by :func:`local_cluster`.  The flow-based baselines from
-#: :mod:`repro.baselines` have their own entry points because they do not
-#: produce an HKPR vector to sweep.
-SUPPORTED_METHODS = ("exact", "monte-carlo", "cluster-hkpr", "hk-relax", "tea", "tea+")
+
+def __getattr__(name: str):
+    # SUPPORTED_METHODS is derived from the estimator registry rather than
+    # hand-maintained here; the lazy attribute avoids an import cycle at
+    # module load (repro.estimators imports the estimator implementations,
+    # some of which import this package's sweep machinery).
+    if name == "SUPPORTED_METHODS":
+        from repro.estimators import method_names
+
+        return method_names(sweepable=True)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass
@@ -54,6 +68,7 @@ def local_cluster(
     params: HKPRParams | None = None,
     rng: RandomState = None,
     estimator_kwargs: dict | None = None,
+    backend: str | None = None,
 ) -> LocalClusteringResult:
     """Find a low-conductance cluster containing ``seed``.
 
@@ -64,16 +79,23 @@ def local_cluster(
     seed:
         The seed node the cluster must contain.
     method:
-        One of :data:`SUPPORTED_METHODS` (default ``"tea+"``).
+        Any sweepable method registered in :mod:`repro.estimators`
+        (canonical name or alias; default ``"tea+"``).  See
+        :data:`SUPPORTED_METHODS` or ``repro-cli methods``.
     params:
         HKPR parameters; defaults to ``HKPRParams(delta=1/n)``, the setting
-        the paper uses for its headline experiments.
+        the paper uses for its headline experiments.  Methods outside the
+        HKPR family (e.g. ``nibble``, ``mc-ppr``) take their knobs through
+        ``estimator_kwargs`` instead.
     rng:
         Seed or generator for randomized estimators.
     estimator_kwargs:
         Extra keyword arguments forwarded to the estimator (for example
         ``{"eps_a": 1e-5}`` for HK-Relax or ``{"eps": 0.01}`` for
         ClusterHKPR).
+    backend:
+        Walk-execution backend for estimators with a walk phase
+        (see :mod:`repro.engine`); ignored by the deterministic methods.
 
     Returns
     -------
@@ -87,24 +109,26 @@ def local_cluster(
     >>> result.contains_seed()
     True
     """
-    from repro.hkpr import ESTIMATORS  # local import to avoid a cycle at module load
+    from repro.estimators import resolve  # local import to avoid a cycle at module load
 
-    if method not in ESTIMATORS:
+    spec = resolve(method)
+    if not spec.sweepable:
         raise ParameterError(
-            f"unknown method {method!r}; expected one of {sorted(ESTIMATORS)}"
+            f"method {spec.name!r} does not produce a sweepable diffusion "
+            f"vector; call its own entry point (repro.baselines) instead"
         )
     if not graph.has_node(seed):
         raise ParameterError(f"seed node {seed} is not in the graph")
-    if params is None:
-        params = HKPRParams(delta=1.0 / max(graph.num_nodes, 2))
 
-    kwargs = dict(estimator_kwargs or {})
-    estimator = ESTIMATORS[method]
     start = time.perf_counter()
-    if method == "exact":
-        hkpr = estimator(graph, seed, params, **kwargs)
-    else:
-        hkpr = estimator(graph, seed, params, rng=rng, **kwargs)
+    hkpr = spec.estimate(
+        graph,
+        seed,
+        params=params,
+        rng=rng,
+        estimator_kwargs=estimator_kwargs,
+        backend=backend,
+    )
     sweep = sweep_cut(graph, hkpr)
     elapsed = time.perf_counter() - start
 
@@ -112,7 +136,7 @@ def local_cluster(
         cluster=set(sweep.cluster),
         conductance=sweep.conductance,
         seed=seed,
-        method=method,
+        method=spec.name,
         hkpr=hkpr,
         sweep=sweep,
         elapsed_seconds=elapsed,

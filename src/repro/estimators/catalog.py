@@ -1,0 +1,459 @@
+"""Built-in estimator registrations.
+
+One :func:`~repro.estimators.registry.register` call per method is the
+*entire* integration surface: the spec's schema drives validation on every
+layer, its flags decide which surfaces expose it, its plan builder (or the
+generic :class:`~repro.estimators.spec.DirectPlan` fallback) makes it
+servable, and its walk estimate feeds admission control.  The estimator
+implementations themselves stay in their home modules
+(:mod:`repro.hkpr`, :mod:`repro.ppr`, :mod:`repro.baselines`) — the
+registry only points at them, so the long-standing free functions remain
+the one implementation and stay byte-identical.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.crd import capacity_releasing_diffusion
+from repro.baselines.nibble import nibble_hkpr
+from repro.baselines.pr_nibble import pr_nibble_hkpr
+from repro.baselines.simple_local import simple_local
+from repro.estimators.registry import register
+from repro.estimators.spec import EstimatorSpec, ParamSpec, ceil_int, hkpr_base_params
+from repro.graph.graph import Graph
+from repro.hkpr.cluster_hkpr import cluster_hkpr, default_walk_count
+from repro.hkpr.exact import exact_hkpr
+from repro.hkpr.hk_push import hk_push_hkpr
+from repro.hkpr.hk_push_plus import hk_push_plus_hkpr
+from repro.hkpr.hk_relax import hk_relax
+from repro.hkpr.monte_carlo import monte_carlo_hkpr
+from repro.hkpr.params import HKPRParams, default_delta
+from repro.hkpr.tea import tea
+from repro.hkpr.tea_plus import tea_plus
+from repro.ppr.exact import exact_ppr
+from repro.ppr.fora import fora, monte_carlo_ppr, walk_count
+
+
+# ------------------------------------------------------------------ #
+# Shared helpers
+# ------------------------------------------------------------------ #
+def _split_hkpr(method: str, graph: Graph, params: dict) -> tuple[HKPRParams, dict]:
+    """Split a validated request dict via the method's own declared schema.
+
+    Delegates to :meth:`EstimatorSpec.split_params` so which keys feed the
+    shared :class:`HKPRParams` object is decided by each ``ParamSpec``'s
+    ``feeds`` declaration — the fusible plan builders and walk estimates
+    below stay in lockstep with the direct-plan path by construction.
+    """
+    from repro.estimators.registry import resolve
+
+    return resolve(method).split_params(graph, params)
+
+
+def _walks_monte_carlo(graph: Graph, params: dict) -> int:
+    if "num_walks" in params:
+        return params["num_walks"]
+    hkpr, _ = _split_hkpr("monte-carlo", graph, params)
+    return ceil_int(hkpr.omega_monte_carlo(graph))
+
+
+def _walks_tea(graph: Graph, params: dict) -> int:
+    if "max_walks" in params:
+        return params["max_walks"]
+    # Upper bound: the walk count is alpha * omega with alpha <= 1.
+    hkpr, _ = _split_hkpr("tea", graph, params)
+    return ceil_int(hkpr.omega_tea(graph))
+
+
+def _walks_tea_plus(graph: Graph, params: dict) -> int:
+    if "max_walks" in params:
+        return params["max_walks"]
+    hkpr, _ = _split_hkpr("tea+", graph, params)
+    return ceil_int(hkpr.omega_tea_plus(graph))
+
+
+def _walks_cluster_hkpr(graph: Graph, params: dict) -> int:
+    if "num_walks" in params:
+        return params["num_walks"]
+    hkpr, _ = _split_hkpr("cluster-hkpr", graph, params)
+    eps = params.get("eps", min(hkpr.eps_r * hkpr.delta, hkpr.p_f))
+    return default_walk_count(graph.num_nodes, eps)
+
+
+def _with_defaults(method: str, params: dict) -> dict:
+    """``params`` plus the method's declared schema defaults (one source)."""
+    from repro.estimators.registry import resolve
+
+    return resolve(method).with_defaults(params)
+
+
+def _walks_fora(graph: Graph, params: dict) -> int:
+    if "max_walks" in params:
+        return params["max_walks"]
+    full = _with_defaults("fora", params)
+    return walk_count(
+        graph,
+        full["eps_r"],
+        full.get("delta", default_delta(graph)),
+        full["p_f"],
+    )
+
+
+def _walks_mc_ppr(graph: Graph, params: dict) -> int:
+    return _with_defaults("mc-ppr", params)["num_walks"]
+
+
+# ------------------------------------------------------------------ #
+# Fusible plan builders (serving layer)
+# ------------------------------------------------------------------ #
+def _plan_monte_carlo(graph, seed_node, params, rng, weights_for):
+    from repro.hkpr.batched import MonteCarloPlan
+
+    hkpr, kwargs = _split_hkpr("monte-carlo", graph, params)
+    return MonteCarloPlan(
+        graph,
+        seed_node,
+        hkpr,
+        num_walks=kwargs.get("num_walks"),
+        weights=weights_for(hkpr.t),
+    )
+
+
+def _plan_tea_plus(graph, seed_node, params, rng, weights_for):
+    from repro.hkpr.batched import TeaPlusPlan
+
+    hkpr, kwargs = _split_hkpr("tea+", graph, params)
+    return TeaPlusPlan(
+        graph, seed_node, hkpr, rng=rng, weights=weights_for(hkpr.t), **kwargs
+    )
+
+
+def _plan_fora(graph, seed_node, params, rng, weights_for):
+    from repro.ppr.batched import ForaPlan
+
+    full = _with_defaults("fora", params)
+    return ForaPlan(
+        graph,
+        seed_node,
+        alpha=full["alpha"],
+        eps_r=full["eps_r"],
+        delta=full.get("delta"),
+        p_f=full["p_f"],
+        r_max=full.get("r_max"),
+        rng=rng,
+        max_walks=full.get("max_walks"),
+    )
+
+
+def _plan_mc_ppr(graph, seed_node, params, rng, weights_for):
+    from repro.ppr.batched import MonteCarloPPRPlan
+
+    full = _with_defaults("mc-ppr", params)
+    return MonteCarloPPRPlan(
+        graph,
+        seed_node,
+        alpha=full["alpha"],
+        num_walks=full["num_walks"],
+    )
+
+
+# ------------------------------------------------------------------ #
+# Recurring parameter specs
+# ------------------------------------------------------------------ #
+_NUM_WALKS = ParamSpec(
+    "num_walks", "int", default=None, default_doc="theory-driven",
+    minimum=1, doc="override the walk count (guarantee waived)",
+)
+_MAX_WALKS = ParamSpec(
+    "max_walks", "int", default=None, default_doc="unbounded",
+    minimum=0, doc="safety cap on walks (guarantee waived when it triggers)",
+)
+_MAX_PUSHES = ParamSpec(
+    "max_pushes", "int", default=None, default_doc="unbounded",
+    minimum=1, doc="safety cap on push operations",
+)
+_ALPHA = ParamSpec(
+    "alpha", "float", default=0.15, minimum=0.0, maximum=1.0,
+    exclusive_minimum=True, exclusive_maximum=True,
+    doc="teleport (restart) probability",
+)
+_MAX_HOP = ParamSpec(
+    "max_hop", "int", default=None, default_doc="Eq. 20",
+    minimum=1, doc="hop cap K",
+)
+_PUSH_BUDGET = ParamSpec(
+    "push_budget", "int", default=None, default_doc="omega*t/2",
+    minimum=1, doc="HK-Push+ push budget n_p",
+)
+_R_MAX = ParamSpec(
+    "r_max", "float", default=None, default_doc="cost-balancing",
+    minimum=0.0, exclusive_minimum=True, doc="push residue threshold",
+)
+
+
+# ------------------------------------------------------------------ #
+# HKPR family
+# ------------------------------------------------------------------ #
+register(EstimatorSpec(
+    name="exact",
+    family="hkpr",
+    doc="Ground-truth HKPR via the truncated Taylor series / power method.",
+    aliases=("exact-hkpr",),
+    params=hkpr_base_params() + (
+        ParamSpec("tail_tolerance", "float", default=1e-12, minimum=0.0,
+                  exclusive_minimum=True, doc="stop once the Poisson tail is below this"),
+        ParamSpec("max_iterations", "int", default=None, default_doc="Poisson horizon",
+                  minimum=1, doc="cap on Taylor terms"),
+    ),
+    deterministic=True,
+    estimate_fn=exact_hkpr,
+    takes_params_object=True,
+))
+
+register(EstimatorSpec(
+    name="monte-carlo",
+    family="hkpr",
+    doc="Plain Monte-Carlo HKPR: Poisson-length walks from the seed (§3).",
+    aliases=("mc", "monte-carlo-hkpr"),
+    params=hkpr_base_params() + (_NUM_WALKS,),
+    fusible=True,
+    backend_aware=True,
+    estimate_fn=monte_carlo_hkpr,
+    plan_fn=_plan_monte_carlo,
+    walks_fn=_walks_monte_carlo,
+    takes_params_object=True,
+))
+
+register(EstimatorSpec(
+    name="cluster-hkpr",
+    family="hkpr",
+    doc="ClusterHKPR (Chung & Simpson): hop-truncated Monte-Carlo walks.",
+    aliases=("clusterhkpr",),
+    params=hkpr_base_params() + (
+        ParamSpec("eps", "float", default=None, default_doc="min(eps_r*delta, p_f)",
+                  minimum=0.0, maximum=1.0, exclusive_minimum=True,
+                  exclusive_maximum=True, doc="single accuracy knob"),
+        _NUM_WALKS,
+        ParamSpec("max_hop", "int", default=None, default_doc="Poisson tail < eps",
+                  minimum=1, doc="walk truncation hop K"),
+    ),
+    backend_aware=True,
+    estimate_fn=cluster_hkpr,
+    walks_fn=_walks_cluster_hkpr,
+    takes_params_object=True,
+))
+
+register(EstimatorSpec(
+    name="hk-relax",
+    family="hkpr",
+    doc="HK-Relax (Kloster & Gleich): deterministic Taylor-series push.",
+    aliases=("hkrelax",),
+    params=hkpr_base_params() + (
+        ParamSpec("eps_a", "float", default=None, default_doc="eps_r*delta",
+                  minimum=0.0, exclusive_minimum=True,
+                  doc="degree-normalized absolute error"),
+        _MAX_PUSHES,
+    ),
+    deterministic=True,
+    estimate_fn=hk_relax,
+    takes_params_object=True,
+))
+
+register(EstimatorSpec(
+    name="hk-push",
+    family="hkpr",
+    doc="HK-Push (Algorithm 1) reserve alone: deterministic HKPR lower bound.",
+    aliases=("hkpush",),
+    params=hkpr_base_params() + (
+        ParamSpec("r_max", "float", default=None, default_doc="eps_r*delta/K",
+                  minimum=0.0, exclusive_minimum=True, doc="push residue threshold"),
+        _MAX_PUSHES,
+    ),
+    deterministic=True,
+    estimate_fn=hk_push_hkpr,
+    takes_params_object=True,
+))
+
+register(EstimatorSpec(
+    name="hk-push+",
+    family="hkpr",
+    doc="HK-Push+ (Algorithm 4) reserve alone: budgeted, hop-capped push.",
+    aliases=("hk-push-plus", "hkpush+"),
+    params=hkpr_base_params(include_c=True) + (_PUSH_BUDGET, _MAX_HOP),
+    deterministic=True,
+    estimate_fn=hk_push_plus_hkpr,
+    takes_params_object=True,
+))
+
+register(EstimatorSpec(
+    name="tea",
+    family="hkpr",
+    doc="TEA (Algorithm 3): HK-Push followed by hop-conditioned walks.",
+    params=hkpr_base_params() + (
+        ParamSpec("r_max", "float", default=None, default_doc="1/(omega*t)",
+                  minimum=0.0, exclusive_minimum=True, doc="push residue threshold"),
+        _MAX_WALKS,
+        _MAX_PUSHES,
+    ),
+    backend_aware=True,
+    estimate_fn=tea,
+    walks_fn=_walks_tea,
+    walks_tight=False,
+    takes_params_object=True,
+))
+
+register(EstimatorSpec(
+    name="tea+",
+    family="hkpr",
+    doc="TEA+ (Algorithm 5): budgeted push, residue reduction, offset, walks.",
+    aliases=("tea-plus", "teaplus"),
+    params=hkpr_base_params(include_c=True) + (
+        _MAX_WALKS,
+        ParamSpec("apply_residue_reduction", "bool", default=True,
+                  doc="§5.2 residue reduction (ablation switch)"),
+        ParamSpec("apply_offset", "bool", default=True,
+                  doc="Lines 18-19 offset correction (ablation switch)"),
+        _PUSH_BUDGET,
+        _MAX_HOP,
+    ),
+    fusible=True,
+    backend_aware=True,
+    estimate_fn=tea_plus,
+    plan_fn=_plan_tea_plus,
+    walks_fn=_walks_tea_plus,
+    walks_tight=False,
+    takes_params_object=True,
+))
+
+
+# ------------------------------------------------------------------ #
+# PPR family
+# ------------------------------------------------------------------ #
+register(EstimatorSpec(
+    name="exact-ppr",
+    family="ppr",
+    doc="Ground-truth personalized PageRank via power iteration.",
+    params=(
+        _ALPHA,
+        ParamSpec("tolerance", "float", default=1e-12, minimum=0.0,
+                  exclusive_minimum=True, doc="L1 convergence threshold"),
+        ParamSpec("max_iterations", "int", default=1000, minimum=1,
+                  maximum=1_000_000,
+                  doc="iteration cap before ConvergenceError"),
+    ),
+    deterministic=True,
+    estimate_fn=exact_ppr,
+    takes_rng=False,
+))
+
+register(EstimatorSpec(
+    name="fora",
+    family="ppr",
+    doc="FORA (Wang et al.): forward push plus geometric-length walks.",
+    params=(
+        _ALPHA,
+        ParamSpec("eps_r", "float", default=0.5, minimum=0.0, maximum=1.0,
+                  exclusive_minimum=True, exclusive_maximum=True,
+                  doc="relative error bound"),
+        ParamSpec("delta", "float", default=None, default_doc="1/n",
+                  minimum=0.0, maximum=1.0, exclusive_minimum=True,
+                  exclusive_maximum=True, doc="significance threshold"),
+        ParamSpec("p_f", "float", default=1e-6, minimum=0.0, maximum=1.0,
+                  exclusive_minimum=True, exclusive_maximum=True,
+                  doc="failure probability"),
+        _R_MAX,
+        _MAX_WALKS,
+    ),
+    fusible=True,
+    backend_aware=True,
+    estimate_fn=fora,
+    plan_fn=_plan_fora,
+    walks_fn=_walks_fora,
+    walks_tight=False,
+    params_adapter=lambda p: {"eps_r": p.eps_r, "delta": p.delta, "p_f": p.p_f},
+))
+
+register(EstimatorSpec(
+    name="mc-ppr",
+    family="ppr",
+    doc="Plain Monte-Carlo PPR: restart walks from the seed.",
+    aliases=("monte-carlo-ppr",),
+    params=(
+        _ALPHA,
+        ParamSpec("num_walks", "int", default=10_000, minimum=1,
+                  doc="number of restart walks"),
+    ),
+    fusible=True,
+    backend_aware=True,
+    estimate_fn=monte_carlo_ppr,
+    plan_fn=_plan_mc_ppr,
+    walks_fn=_walks_mc_ppr,
+))
+
+
+# ------------------------------------------------------------------ #
+# Baselines
+# ------------------------------------------------------------------ #
+register(EstimatorSpec(
+    name="nibble",
+    family="baseline",
+    doc="Nibble (Spielman & Teng): truncated lazy random-walk diffusion.",
+    params=(
+        ParamSpec("steps", "int", default=20, minimum=1, maximum=100_000,
+                  doc="lazy-walk steps"),
+        ParamSpec("truncation", "float", default=1e-5, minimum=0.0,
+                  doc="degree-normalized truncation threshold"),
+    ),
+    deterministic=True,
+    estimate_fn=nibble_hkpr,
+    takes_rng=False,
+))
+
+register(EstimatorSpec(
+    name="pr-nibble",
+    family="baseline",
+    doc="PR-Nibble (Andersen-Chung-Lang): approximate-PPR push diffusion.",
+    aliases=("ppr-nibble",),
+    params=(
+        _ALPHA,
+        ParamSpec("eps", "float", default=1e-4, minimum=0.0,
+                  exclusive_minimum=True, doc="degree-normalized push threshold"),
+    ),
+    deterministic=True,
+    estimate_fn=pr_nibble_hkpr,
+    takes_rng=False,
+))
+
+register(EstimatorSpec(
+    name="simple-local",
+    family="baseline",
+    doc="SimpleLocal: strongly-local flow-based cut improvement.",
+    params=(
+        ParamSpec("locality", "float", default=0.05, minimum=0.0,
+                  exclusive_minimum=True, doc="locality parameter"),
+        ParamSpec("max_iterations", "int", default=20, minimum=1,
+                  maximum=100_000, doc="improvement iterations"),
+    ),
+    deterministic=True,
+    sweepable=False,
+    cluster_fn=simple_local,
+    takes_rng=False,
+))
+
+register(EstimatorSpec(
+    name="crd",
+    family="baseline",
+    doc="Capacity Releasing Diffusion (Wang et al.): flow-based diffusion.",
+    aliases=("capacity-releasing-diffusion",),
+    params=(
+        ParamSpec("iterations", "int", default=10, minimum=1, maximum=100_000,
+                  doc="diffusion iterations"),
+        ParamSpec("capacity_multiplier", "float", default=4.0, minimum=0.0,
+                  exclusive_minimum=True, doc="per-iteration capacity growth"),
+        ParamSpec("level_cap", "int", default=None, default_doc="unbounded",
+                  minimum=1, doc="cap on flow levels"),
+    ),
+    deterministic=True,
+    sweepable=False,
+    cluster_fn=capacity_releasing_diffusion,
+    takes_rng=False,
+))

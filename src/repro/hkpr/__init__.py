@@ -18,8 +18,8 @@ object and return a :class:`repro.hkpr.result.HKPRResult`.
 
 from repro.hkpr.cluster_hkpr import cluster_hkpr
 from repro.hkpr.exact import exact_hkpr
-from repro.hkpr.hk_push import hk_push
-from repro.hkpr.hk_push_plus import hk_push_plus
+from repro.hkpr.hk_push import hk_push, hk_push_hkpr
+from repro.hkpr.hk_push_plus import hk_push_plus, hk_push_plus_hkpr
 from repro.hkpr.hk_relax import hk_relax
 from repro.hkpr.monte_carlo import monte_carlo_hkpr
 from repro.hkpr.params import HKPRParams, effective_failure_probability
@@ -28,20 +28,22 @@ from repro.hkpr.result import HKPRResult
 from repro.hkpr.tea import tea
 from repro.hkpr.tea_plus import tea_plus
 
-ESTIMATORS = {
-    "exact": exact_hkpr,
-    "monte-carlo": monte_carlo_hkpr,
-    "cluster-hkpr": cluster_hkpr,
-    "hk-relax": hk_relax,
-    "tea": tea,
-    "tea+": tea_plus,
-}
-"""Registry mapping method names (as used by the benchmark harness and the
-high-level clustering API) to estimator callables."""
+def __getattr__(name: str):
+    # Legacy method tables, derived live from the unified estimator
+    # registry (:mod:`repro.estimators`) rather than hand-maintained here.
+    # Lazy so importing this package does not pull in the registry (which
+    # imports estimator implementations from several subpackages).  Each
+    # access returns a fresh read-only snapshot: extend the registry with
+    # repro.estimators.register(), not by mutating these objects.
+    if name == "ESTIMATORS":
+        from repro.estimators import hkpr_estimator_table
 
-BACKEND_AWARE_METHODS = frozenset({"monte-carlo", "cluster-hkpr", "tea", "tea+"})
-"""Estimators with a random-walk phase that accept a ``backend=`` keyword
-(see :mod:`repro.engine`); the deterministic estimators do not."""
+        return hkpr_estimator_table()
+    if name == "BACKEND_AWARE_METHODS":
+        from repro.estimators import backend_aware_methods
+
+        return backend_aware_methods()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def backend_estimator_kwargs(
@@ -49,13 +51,15 @@ def backend_estimator_kwargs(
 ) -> dict:
     """``estimator_kwargs`` with ``backend`` folded in where it applies.
 
-    The single place that knows which methods take a ``backend=`` keyword —
-    used by :func:`repro.hkpr.batch.batch_hkpr`, the benchmark harness and
-    the CLI, so a new backend-aware estimator needs one registry update.
-    An explicit ``backend`` key in ``estimator_kwargs`` wins.
+    Which methods take a ``backend=`` keyword is declared on their
+    :class:`~repro.estimators.spec.EstimatorSpec` (``backend_aware``), so a
+    new backend-aware estimator needs only its registration.  An explicit
+    ``backend`` key in ``estimator_kwargs`` wins.
     """
+    from repro.estimators import resolve
+
     kwargs = dict(estimator_kwargs or {})
-    if backend is not None and method in BACKEND_AWARE_METHODS:
+    if backend is not None and resolve(method).backend_aware:
         kwargs.setdefault("backend", backend)
     return kwargs
 
@@ -70,7 +74,9 @@ __all__ = [
     "effective_failure_probability",
     "exact_hkpr",
     "hk_push",
+    "hk_push_hkpr",
     "hk_push_plus",
+    "hk_push_plus_hkpr",
     "hk_relax",
     "monte_carlo_hkpr",
     "tea",

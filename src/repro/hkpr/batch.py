@@ -21,21 +21,11 @@ from collections.abc import Mapping, Sequence
 
 from repro.exceptions import ParameterError
 from repro.graph.graph import Graph
-from repro.hkpr.params import HKPRParams
+from repro.hkpr.params import HKPRParams, default_delta
 from repro.hkpr.result import HKPRResult
 from repro.utils.counters import OperationCounters
 from repro.utils.rng import RandomState, ensure_rng
 from repro.utils.sparsevec import SparseVector
-
-
-def _resolve_estimator(method: str):
-    from repro.hkpr import ESTIMATORS  # local import to avoid a cycle at module load
-
-    if method not in ESTIMATORS:
-        raise ParameterError(
-            f"unknown method {method!r}; expected one of {sorted(ESTIMATORS)}"
-        )
-    return ESTIMATORS[method]
 
 
 def batch_hkpr(
@@ -50,31 +40,36 @@ def batch_hkpr(
 ) -> dict[int, HKPRResult]:
     """Run one estimator for every seed in ``seeds``.
 
+    ``method`` is resolved through the unified estimator registry
+    (:mod:`repro.estimators`), so every registered sweepable method works.
     Returns a mapping from seed node to its :class:`HKPRResult`.  Each seed
     gets its own RNG stream derived from ``rng``, so results are
     reproducible and independent of the order of ``seeds``.  ``backend``
     selects the walk execution engine for estimators with a walk phase
     (see :mod:`repro.engine`) and is ignored for the deterministic ones.
     """
+    from repro.estimators import resolve  # local import to avoid a cycle at module load
+
     if not seeds:
         raise ParameterError("need at least one seed node")
-    estimator = _resolve_estimator(method)
-    if params is None:
-        params = HKPRParams(delta=1.0 / max(graph.num_nodes, 2))
-    from repro.hkpr import backend_estimator_kwargs  # local import, avoids a cycle
-
-    kwargs = backend_estimator_kwargs(method, backend, estimator_kwargs)
+    spec = resolve(method)
+    if spec.takes_params_object and params is None:
+        params = HKPRParams(delta=default_delta(graph))
     root = ensure_rng(rng)
     results: dict[int, HKPRResult] = {}
     for seed_node in seeds:
         seed_node = int(seed_node)
-        if method == "exact":
-            results[seed_node] = estimator(graph, seed_node, params, **kwargs)
-        else:
-            child_rng = ensure_rng(int(root.integers(0, 2**63 - 1)))
-            results[seed_node] = estimator(
-                graph, seed_node, params, rng=child_rng, **kwargs
-            )
+        child_rng = (
+            ensure_rng(int(root.integers(0, 2**63 - 1))) if spec.takes_rng else None
+        )
+        results[seed_node] = spec.estimate(
+            graph,
+            seed_node,
+            params=params,
+            rng=child_rng,
+            estimator_kwargs=estimator_kwargs,
+            backend=backend,
+        )
     return results
 
 

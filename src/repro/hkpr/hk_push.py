@@ -16,13 +16,16 @@ settled; TEA later estimates the second term with random walks.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from dataclasses import dataclass
 
 from repro.exceptions import ParameterError
 from repro.graph.graph import Graph
+from repro.hkpr.params import HKPRParams
 from repro.hkpr.poisson import PoissonWeights
 from repro.hkpr.residues import ResidueVectors
+from repro.hkpr.result import HKPRResult
 from repro.utils.counters import OperationCounters
 from repro.utils.sparsevec import SparseVector
 
@@ -121,3 +124,59 @@ def hk_push(
     counters.residue_entries = max(counters.residue_entries, residues.num_nonzero())
     counters.reserve_entries = max(counters.reserve_entries, reserve.nnz())
     return PushOutcome(reserve=reserve, residues=residues, counters=counters)
+
+
+def hk_push_hkpr(
+    graph: Graph,
+    seed_node: int,
+    params: HKPRParams,
+    *,
+    r_max: float | None = None,
+    max_pushes: int | None = None,
+    rng: object = None,  # accepted for interface uniformity; unused
+) -> HKPRResult:
+    """HKPR lower bound from HK-Push alone (Algorithm 1, no walk phase).
+
+    The reserve vector HK-Push produces is a deterministic, entry-wise lower
+    bound on the HKPR vector whose degree-normalized ordering is already
+    sweepable — the push-only ablation of TEA.  The unsettled residue mass
+    ``alpha`` is reported in ``counters.extras`` so callers can see how much
+    of the diffusion the threshold left uncovered.
+
+    Parameters
+    ----------
+    r_max:
+        Residue threshold.  Defaults to ``eps_r * delta / K`` (``K`` the
+        Poisson horizon) — the per-degree threshold HK-Push+ targets — so
+        the push cost stays bounded without a walk phase; TEA's cost-
+        balancing ``1/(omega t)`` default only makes sense when walks repair
+        the remainder.
+    max_pushes:
+        Optional cap, enforced by raising the threshold to ``1/max_pushes``
+        (by Lemma 3 the number of pushes is at most ``1/r_max``).
+    """
+    start = time.perf_counter()
+    weights = PoissonWeights(params.t)
+    threshold = (
+        r_max
+        if r_max is not None
+        else params.absolute_error_target() / max(weights.max_hop, 1)
+    )
+    if max_pushes is not None:
+        if max_pushes < 1:
+            raise ParameterError(f"max_pushes must be >= 1, got {max_pushes}")
+        threshold = max(threshold, 1.0 / max_pushes)
+
+    counters = OperationCounters()
+    outcome = hk_push(graph, seed_node, threshold, weights, counters=counters)
+    counters.extras["r_max"] = threshold
+    counters.extras["alpha"] = sum(
+        value for _, _, value in outcome.residues.nonzero_entries()
+    )
+    return HKPRResult(
+        estimates=outcome.reserve,
+        seed=seed_node,
+        method="hk-push",
+        counters=counters,
+        elapsed_seconds=time.perf_counter() - start,
+    )

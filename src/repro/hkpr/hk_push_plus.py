@@ -16,14 +16,17 @@ HK-Push+ differs from HK-Push (Algorithm 1) in three ways, all aimed at the
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from dataclasses import dataclass
 
 from repro.exceptions import ParameterError
 from repro.graph.graph import Graph
 from repro.hkpr.hk_push import PushOutcome
+from repro.hkpr.params import HKPRParams
 from repro.hkpr.poisson import PoissonWeights
 from repro.hkpr.residues import ResidueVectors
+from repro.hkpr.result import HKPRResult
 from repro.utils.counters import OperationCounters
 from repro.utils.sparsevec import SparseVector
 
@@ -156,4 +159,60 @@ def hk_push_plus(
         satisfied_early_exit=satisfied,
         budget_exhausted=exhausted,
         pushes_used=pushes_used,
+    )
+
+
+def hk_push_plus_hkpr(
+    graph: Graph,
+    seed_node: int,
+    params: HKPRParams,
+    *,
+    push_budget: int | None = None,
+    max_hop: int | None = None,
+    rng: object = None,  # accepted for interface uniformity; unused
+) -> HKPRResult:
+    """HKPR lower bound from HK-Push+ alone (Algorithm 4, no walk phase).
+
+    The budgeted, hop-capped push of TEA+ without its random-walk repair:
+    deterministic, sweepable, and — when the Theorem-2 condition holds at
+    termination (``early_exit`` on the result) — already
+    (d, eps_r, delta)-approximate on its own.
+
+    Parameters
+    ----------
+    push_budget, max_hop:
+        Overrides for ``n_p`` and ``K``; defaults follow Algorithm 5, Line 5
+        (``omega * t / 2`` and Eq. 20), exactly as TEA+ uses them.
+    """
+    start = time.perf_counter()
+    weights = PoissonWeights(params.t)
+    budget = (
+        push_budget if push_budget is not None else params.push_budget_tea_plus(graph)
+    )
+    hop_cap = max_hop if max_hop is not None else params.max_hop_tea_plus(graph)
+
+    counters = OperationCounters()
+    counters.extras["push_budget"] = float(budget)
+    counters.extras["max_hop"] = float(hop_cap)
+    outcome = hk_push_plus(
+        graph,
+        seed_node,
+        params.eps_r,
+        params.delta,
+        hop_cap,
+        budget,
+        weights,
+        counters=counters,
+    )
+    counters.extras["pushes_used"] = float(outcome.pushes_used)
+    counters.extras["alpha"] = sum(
+        value for _, _, value in outcome.residues.nonzero_entries()
+    )
+    return HKPRResult(
+        estimates=outcome.reserve,
+        seed=seed_node,
+        method="hk-push+",
+        counters=counters,
+        elapsed_seconds=time.perf_counter() - start,
+        early_exit=outcome.satisfied_early_exit,
     )

@@ -37,6 +37,15 @@ DEFAULT_P_F = 1e-6
 DEFAULT_C = 2.5
 
 
+def default_delta(graph: Graph) -> float:
+    """The paper's per-graph default significance threshold ``delta = 1/n``.
+
+    The single definition every dispatch surface uses when no ``delta`` is
+    supplied (guarded for the degenerate n < 2 graphs).
+    """
+    return 1.0 / max(graph.num_nodes, 2)
+
+
 def effective_failure_probability(graph: Graph, p_f: float) -> float:
     """Per-node failure budget ``p'_f`` from Equation (6).
 

@@ -21,6 +21,7 @@ from repro.engine.multi import WalkTask
 from repro.exceptions import ParameterError
 from repro.graph.graph import Graph
 from repro.hkpr.alias import AliasSampler
+from repro.hkpr.params import default_delta
 from repro.hkpr.result import HKPRResult
 from repro.ppr.fora import walk_count
 from repro.ppr.push import forward_push
@@ -106,7 +107,7 @@ class ForaPlan:
         self.seed_node = int(seed_node)
         self._started = time.perf_counter()
         effective_delta = (
-            delta if delta is not None else 1.0 / max(graph.num_nodes, 2)
+            delta if delta is not None else default_delta(graph)
         )
         omega = walk_count(graph, eps_r, effective_delta, p_f)
         if r_max is None:

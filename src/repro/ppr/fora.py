@@ -26,6 +26,7 @@ from repro.engine import Backend, chunk_sizes, get_backend
 from repro.exceptions import ParameterError
 from repro.graph.graph import Graph
 from repro.hkpr.alias import AliasSampler
+from repro.hkpr.params import default_delta
 from repro.hkpr.result import HKPRResult
 from repro.ppr.push import forward_push
 from repro.utils.counters import OperationCounters
@@ -86,7 +87,9 @@ def monte_carlo_ppr(
     return HKPRResult(
         estimates=estimates,
         seed=seed_node,
-        method="monte-carlo-ppr",
+        # Canonical registry name; the batched plan (MonteCarloPPRPlan) and
+        # every serving/telemetry surface label this method "mc-ppr".
+        method="mc-ppr",
         counters=counters,
         elapsed_seconds=time.perf_counter() - start,
     )
@@ -129,7 +132,7 @@ def fora(
     generator = ensure_rng(rng)
     engine = get_backend(backend)
     start = time.perf_counter()
-    effective_delta = delta if delta is not None else 1.0 / max(graph.num_nodes, 2)
+    effective_delta = delta if delta is not None else default_delta(graph)
     omega = walk_count(graph, eps_r, effective_delta, p_f)
     if r_max is None:
         m = max(graph.num_edges, 1)

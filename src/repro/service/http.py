@@ -10,6 +10,9 @@ Endpoints:
 * ``GET /stats`` — serving telemetry (latency, cache hit rate, batch
   occupancy, walks/sec).
 * ``GET /graphs`` — registered graphs and their sizes.
+* ``GET /methods`` — the servable methods with their full declarative
+  parameter schemas, rendered straight from the estimator registry
+  (:mod:`repro.estimators`).
 * ``GET /healthz`` — liveness probe.
 
 Built on ``http.server.ThreadingHTTPServer`` deliberately: one handler
@@ -66,6 +69,13 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             self._send_json(200, self.service.stats())
         elif self.path == "/graphs":
             self._send_json(200, {"graphs": self.service.registry.describe()})
+        elif self.path == "/methods":
+            from repro.estimators import describe_methods
+            from repro.service.planner import SERVICE_METHODS
+
+            self._send_json(
+                200, {"methods": describe_methods(SERVICE_METHODS.values())}
+            )
         else:
             self._send_json(404, {"error": f"unknown path {self.path!r}"})
 

@@ -1,22 +1,27 @@
 """Request validation, normalization, and query planning.
 
 A wire request is a loosely-typed dict; the planner turns it into a
-:class:`QueryRequest` (validated, with canonical parameter types) at
-admission time, and into a :class:`~repro.engine.multi.WalkPlan` (the
-two-phase prepare/finalize form) at dispatch time.  Normalizing eagerly
-means invalid requests fail *before* they occupy queue capacity, and the
-canonical parameter tuple doubles as the result-cache key.
+:class:`QueryRequest` (validated, with canonical method name and parameter
+types) at admission time, and into a :class:`~repro.engine.multi.WalkPlan`
+(the two-phase prepare/finalize form) at dispatch time.  Normalizing
+eagerly means invalid requests fail *before* they occupy queue capacity,
+and the canonical parameter tuple doubles as the result-cache key.
 
 Method registry
 ---------------
-``SERVICE_METHODS`` maps each servable method to its parameter schema, an
-admission-control walk estimate, and a plan builder:
+``SERVICE_METHODS`` is a live, read-only view over the unified estimator
+registry (:mod:`repro.estimators`), exposing every registered *servable*
+method (those producing a rankable diffusion vector).  Each spec carries
+its parameter schema, an admission-control walk estimate, capability flags
+and a plan builder, so a method registered in :mod:`repro.estimators`
+becomes servable with no planner change:
 
 * fusible — ``monte-carlo`` and ``tea+`` (HKPR), ``fora`` and ``mc-ppr``
   (PPR) decompose into walk tasks the micro-batcher fuses across queries;
-* direct — ``tea``, ``hk-relax`` and ``exact`` run whole inside plan
-  construction (``tea`` has a walk phase but no plan form yet; the
-  deterministic two need none) and return an already-finalized plan.
+* direct — everything else (including the randomized ``tea`` and
+  ``cluster-hkpr`` and the deterministic push/baseline methods) runs whole
+  inside plan construction and returns an already-finalized
+  :class:`~repro.estimators.spec.DirectPlan`.
 
 Determinism: requests carrying an explicit ``rng`` seed are marked
 *pinned* — the cache is bypassed and the batcher runs their walk tasks
@@ -26,18 +31,12 @@ request.  Unpinned requests may be fused and may be served from cache.
 
 from __future__ import annotations
 
-import math
+from collections.abc import Iterator, Mapping
 from dataclasses import dataclass, field
-from typing import Callable
 
-from repro.exceptions import ServiceError
-from repro.hkpr.batched import MonteCarloPlan, TeaPlusPlan
-from repro.hkpr.hk_relax import hk_relax
-from repro.hkpr.exact import exact_hkpr
-from repro.hkpr.params import HKPRParams
-from repro.hkpr.tea import tea
-from repro.ppr.batched import ForaPlan, MonteCarloPPRPlan
-from repro.ppr.fora import walk_count
+from repro.estimators import DirectPlan, resolve  # noqa: F401 - DirectPlan re-export
+from repro.estimators.spec import EstimatorSpec
+from repro.exceptions import ParameterError, ServiceError
 from repro.service.registry import GraphEntry
 from repro.utils.rng import ensure_rng
 
@@ -45,180 +44,60 @@ from repro.utils.rng import ensure_rng
 DEFAULT_TOP_K = 20
 
 
-def _hkpr_params(entry: GraphEntry, params: dict) -> HKPRParams:
-    """Build :class:`HKPRParams` from normalized request parameters."""
-    delta = params.get("delta")
-    if delta is None:
-        delta = 1.0 / max(entry.graph.num_nodes, 2)
-    return HKPRParams(
-        t=params.get("t", 5.0),
-        eps_r=params.get("eps_r", 0.5),
-        delta=delta,
-        p_f=params.get("p_f", 1e-6),
-    )
+class _ServiceMethods(Mapping):
+    """Live mapping of servable methods, derived from the estimator registry.
+
+    Views the registry rather than copying it so methods registered after
+    import (e.g. in tests or plugins) are immediately servable.  Lookups
+    delegate to the registry's O(1) resolution (no table rebuild on the
+    per-query hot path); keys are canonical names only.
+    """
+
+    def __getitem__(self, name: str) -> EstimatorSpec:
+        try:
+            spec = resolve(name)
+        except ParameterError:
+            raise KeyError(name) from None
+        if spec.name != name or not spec.servable:
+            raise KeyError(name)
+        return spec
+
+    def __iter__(self) -> Iterator[str]:
+        from repro.estimators import method_names
+
+        return iter(method_names(servable=True))
+
+    def __len__(self) -> int:
+        from repro.estimators import method_names
+
+        return len(method_names(servable=True))
 
 
-class DirectPlan:
-    """A plan whose work already happened: zero tasks, stored result."""
-
-    tasks = ()
-    estimated_walks = 0
-
-    def __init__(self, result) -> None:
-        self._result = result
-        self.counters = result.counters
-
-    def finalize(self, endpoints) -> object:
-        return self._result
+SERVICE_METHODS: Mapping[str, EstimatorSpec] = _ServiceMethods()
+"""Servable methods (name → :class:`~repro.estimators.spec.EstimatorSpec`).
+Fusible specs decompose into walk tasks; the rest execute directly inside
+plan construction."""
 
 
-@dataclass(frozen=True)
-class MethodSpec:
-    """How one servable method is validated, estimated, and planned."""
-
-    name: str
-    #: Allowed request parameters and their canonicalizing casts.
-    param_casts: dict[str, Callable]
-    #: True when the result is a pure function of the request (no walks),
-    #: so even rng-pinned requests are cache-eligible.
-    deterministic: bool
-    #: Admission-control estimate of the walks the query will run.
-    estimate_walks: Callable[[GraphEntry, dict], int]
-    #: Build the plan (push phases run here).  ``rng`` seeds residue
-    #: sampling and, for direct methods, the whole walk phase.
-    build: Callable[[GraphEntry, "QueryRequest", object], object]
-
-
-def _estimate_monte_carlo(entry: GraphEntry, params: dict) -> int:
-    if "num_walks" in params:
-        return params["num_walks"]
-    return int(math.ceil(_hkpr_params(entry, params).omega_monte_carlo(entry.graph)))
-
-
-def _estimate_tea_family(entry: GraphEntry, params: dict) -> int:
-    if "max_walks" in params:
-        return params["max_walks"]
-    # Upper bound: the walk count is alpha * omega with alpha <= 1.
-    return int(math.ceil(_hkpr_params(entry, params).omega_tea_plus(entry.graph)))
-
-
-def _estimate_fora(entry: GraphEntry, params: dict) -> int:
-    if "max_walks" in params:
-        return params["max_walks"]
-    hkpr = _hkpr_params(entry, params)
-    return walk_count(entry.graph, hkpr.eps_r, hkpr.delta, hkpr.p_f)
-
-
-def _build_monte_carlo(entry: GraphEntry, request: "QueryRequest", rng) -> MonteCarloPlan:
-    params = _hkpr_params(entry, request.params)
-    return MonteCarloPlan(
-        entry.graph,
-        request.seed_node,
-        params,
-        num_walks=request.params.get("num_walks"),
-        weights=entry.poisson_weights(params.t),
-    )
-
-
-def _build_tea_plus(entry: GraphEntry, request: "QueryRequest", rng) -> TeaPlusPlan:
-    params = _hkpr_params(entry, request.params)
-    return TeaPlusPlan(
-        entry.graph,
-        request.seed_node,
-        params,
-        rng=rng,
-        max_walks=request.params.get("max_walks"),
-        weights=entry.poisson_weights(params.t),
-    )
-
-
-def _build_tea(entry: GraphEntry, request: "QueryRequest", rng) -> DirectPlan:
-    params = _hkpr_params(entry, request.params)
-    return DirectPlan(
-        tea(
-            entry.graph,
-            request.seed_node,
-            params,
-            rng=rng,
-            max_walks=request.params.get("max_walks"),
+def _resolve_servable(method: str) -> EstimatorSpec:
+    """Resolve a request's method (alias-aware) to a servable spec."""
+    try:
+        spec = resolve(method)
+    except ParameterError:
+        raise ServiceError(
+            f"unknown method {method!r}; expected one of {sorted(SERVICE_METHODS)}"
+        ) from None
+    if not spec.servable:
+        raise ServiceError(
+            f"method {spec.name!r} does not produce a rankable vector and is "
+            f"not servable; servable methods: {sorted(SERVICE_METHODS)}"
         )
-    )
-
-
-def _build_fora(entry: GraphEntry, request: "QueryRequest", rng) -> ForaPlan:
-    params = request.params
-    return ForaPlan(
-        entry.graph,
-        request.seed_node,
-        alpha=params.get("alpha", 0.15),
-        eps_r=params.get("eps_r", 0.5),
-        delta=params.get("delta"),
-        p_f=params.get("p_f", 1e-6),
-        rng=rng,
-        max_walks=params.get("max_walks"),
-    )
-
-
-def _build_mc_ppr(entry: GraphEntry, request: "QueryRequest", rng) -> MonteCarloPPRPlan:
-    params = request.params
-    return MonteCarloPPRPlan(
-        entry.graph,
-        request.seed_node,
-        alpha=params.get("alpha", 0.15),
-        num_walks=params.get("num_walks", 10_000),
-    )
-
-
-def _build_hk_relax(entry: GraphEntry, request: "QueryRequest", rng) -> DirectPlan:
-    params = _hkpr_params(entry, request.params)
-    return DirectPlan(hk_relax(entry.graph, request.seed_node, params))
-
-
-def _build_exact(entry: GraphEntry, request: "QueryRequest", rng) -> DirectPlan:
-    params = _hkpr_params(entry, request.params)
-    return DirectPlan(exact_hkpr(entry.graph, request.seed_node, params))
-
-
-_HKPR_PARAMS = {"t": float, "eps_r": float, "delta": float, "p_f": float}
-
-SERVICE_METHODS: dict[str, MethodSpec] = {
-    "monte-carlo": MethodSpec(
-        "monte-carlo", {**_HKPR_PARAMS, "num_walks": int},
-        False, _estimate_monte_carlo, _build_monte_carlo,
-    ),
-    "tea+": MethodSpec(
-        "tea+", {**_HKPR_PARAMS, "max_walks": int},
-        False, _estimate_tea_family, _build_tea_plus,
-    ),
-    "tea": MethodSpec(
-        "tea", {**_HKPR_PARAMS, "max_walks": int},
-        False, _estimate_tea_family, _build_tea,
-    ),
-    "fora": MethodSpec(
-        "fora", {"alpha": float, "eps_r": float, "delta": float, "p_f": float,
-                 "max_walks": int},
-        False, _estimate_fora, _build_fora,
-    ),
-    "mc-ppr": MethodSpec(
-        "mc-ppr", {"alpha": float, "num_walks": int},
-        False, lambda entry, params: params.get("num_walks", 10_000), _build_mc_ppr,
-    ),
-    "hk-relax": MethodSpec(
-        "hk-relax", dict(_HKPR_PARAMS),
-        True, lambda entry, params: 0, _build_hk_relax,
-    ),
-    "exact": MethodSpec(
-        "exact", dict(_HKPR_PARAMS),
-        True, lambda entry, params: 0, _build_exact,
-    ),
-}
-"""Servable methods.  Fusible methods decompose into walk tasks; ``tea``,
-``hk-relax`` and ``exact`` execute directly inside plan construction."""
+    return spec
 
 
 @dataclass(frozen=True)
 class QueryRequest:
-    """One validated, normalized query."""
+    """One validated, normalized query (``method`` is the canonical name)."""
 
     graph: str
     method: str
@@ -237,6 +116,8 @@ class QueryRequest:
 
         ``top_k`` only shapes the response envelope and the full result is
         cached, so two requests differing only in ``top_k`` share a key.
+        Method aliases were resolved at normalization, so an aliased
+        request shares the canonical spelling's key.
         """
         return (
             self.graph,
@@ -248,28 +129,6 @@ class QueryRequest:
     def cache_eligible(self) -> bool:
         """Pinned requests bypass the cache unless the method is deterministic."""
         return SERVICE_METHODS[self.method].deterministic or not self.pinned
-
-
-def _check_range(key: str, value) -> None:
-    """Reject out-of-range parameters at admission.
-
-    These bounds guard the *service*, not just the estimators: a negative
-    ``num_walks``/``max_walks`` would otherwise drive the in-flight walk
-    estimate negative and disable admission control, and the remaining
-    checks fail bad queries before they occupy queue capacity (the
-    estimators would reject them anyway, but only on the dispatch thread).
-    """
-    ok = True
-    if key == "num_walks":
-        ok = value >= 1
-    elif key == "max_walks":
-        ok = value >= 0
-    elif key in ("alpha", "eps_r", "delta", "p_f"):
-        ok = 0.0 < value < 1.0
-    elif key == "t":
-        ok = value > 0.0
-    if not ok:
-        raise ServiceError(f"parameter {key!r} is out of range: {value!r}")
 
 
 def normalize_request(
@@ -284,15 +143,14 @@ def normalize_request(
 ) -> QueryRequest:
     """Validate raw request fields into a :class:`QueryRequest`.
 
+    Method resolution, parameter casting and range checks all delegate to
+    the estimator registry's declarative schemas — the same code path the
+    CLI and the library use — so every surface reports identical errors.
     ``entry`` (when provided) additionally validates the seed node against
     the graph, so bad requests are rejected at admission rather than
     mid-batch.
     """
-    spec = SERVICE_METHODS.get(method)
-    if spec is None:
-        raise ServiceError(
-            f"unknown method {method!r}; expected one of {sorted(SERVICE_METHODS)}"
-        )
+    spec = _resolve_servable(method)
     try:
         seed_node = int(seed_node)
         top_k = int(top_k)
@@ -302,21 +160,13 @@ def normalize_request(
     if top_k < 1:
         raise ServiceError(f"top_k must be >= 1, got {top_k}")
 
-    normalized: dict = {}
-    for key, value in (params or {}).items():
-        cast = spec.param_casts.get(key)
-        if cast is None:
-            raise ServiceError(
-                f"unknown parameter {key!r} for method {method!r}; "
-                f"allowed: {sorted(spec.param_casts)}"
-            )
-        try:
-            normalized[key] = cast(value)
-        except (TypeError, ValueError):
-            raise ServiceError(
-                f"parameter {key!r} has invalid value {value!r}"
-            ) from None
-        _check_range(key, normalized[key])
+    try:
+        normalized = spec.validate_params(params)
+    except ParameterError as exc:
+        # Registry errors are client errors at the service boundary
+        # (HTTP 400); the message — with its valid-option listing — is
+        # produced by the registry's single validation path.
+        raise ServiceError(str(exc)) from None
 
     if entry is not None and not entry.graph.has_node(seed_node):
         raise ServiceError(
@@ -324,14 +174,28 @@ def normalize_request(
             f"(n={entry.graph.num_nodes})"
         )
     return QueryRequest(
-        graph=graph, method=method, seed_node=seed_node,
+        graph=graph, method=spec.name, seed_node=seed_node,
         params=normalized, rng=rng, top_k=top_k,
     )
 
 
 def estimate_walks(entry: GraphEntry, request: QueryRequest) -> int:
     """Admission-control estimate of the walks ``request`` will run."""
-    return SERVICE_METHODS[request.method].estimate_walks(entry, request.params)
+    return SERVICE_METHODS[request.method].estimate_walks(
+        entry.graph, request.params
+    )
+
+
+def walk_estimate_is_tight(request: QueryRequest) -> bool:
+    """Whether the method's walk estimate predicts actual work (vs a bound).
+
+    Governs the hard single-query budget rejection: a tight over-budget
+    estimate (monte-carlo, cluster-hkpr) means the query really would run
+    that many walks, while an upper bound (tea, tea+, fora) usually
+    collapses after the push phase and deserves the idle-server escape
+    hatch.
+    """
+    return SERVICE_METHODS[request.method].walks_tight
 
 
 def build_plan(entry: GraphEntry, request: QueryRequest):
@@ -339,8 +203,17 @@ def build_plan(entry: GraphEntry, request: QueryRequest):
 
     Push phases and residue sampling run here (on the dispatch thread).
     Pinned requests get a private generator seeded with ``request.rng``;
-    the batcher runs their tasks on that same generator, unfused.
+    the batcher runs their tasks on that same generator, unfused.  The
+    graph entry's warm per-``t`` Poisson-weight cache is threaded into the
+    fusible specs' plan builders; direct plans run the estimator free
+    function, which builds its own (small) Poisson table per query.
     """
     rng = ensure_rng(request.rng) if request.pinned else ensure_rng(None)
-    plan = SERVICE_METHODS[request.method].build(entry, request, rng)
+    plan = SERVICE_METHODS[request.method].build_plan(
+        entry.graph,
+        request.seed_node,
+        request.params,
+        rng,
+        weights_for=entry.poisson_weights,
+    )
     return plan, rng

@@ -50,6 +50,7 @@ from repro.service.planner import (
     build_plan,
     estimate_walks,
     normalize_request,
+    walk_estimate_is_tight,
 )
 from repro.service.registry import GraphEntry, GraphRegistry
 from repro.utils.rng import RandomState, ensure_rng
@@ -284,6 +285,21 @@ class QueryService:
                 return future
 
         estimated = max(0, estimate_walks(entry, request))
+        if estimated > self._max_inflight_walks and walk_estimate_is_tight(request):
+            # A query that would really run more walks than the whole
+            # budget can never fit, idle server or not — without this
+            # check the single-request escape hatch below would admit it
+            # and the walk phase would wedge the dispatch thread (e.g. a
+            # default cluster-hkpr query implies ~1/eps^3 walks with
+            # eps ~ p_f).  Methods whose estimate is only a loose upper
+            # bound (tea/tea+/fora: the push phase usually collapses it)
+            # keep the escape hatch.
+            self.telemetry.record_rejection()
+            raise ServiceOverloadedError(
+                f"query's estimated walks ({estimated}) exceed the in-flight "
+                f"walk budget ({self._max_inflight_walks}); tighten its "
+                f"parameters (e.g. num_walks/max_walks/eps)"
+            )
         with self._inflight_lock:
             if (
                 self._inflight_walks + estimated > self._max_inflight_walks

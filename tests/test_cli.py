@@ -115,6 +115,125 @@ class TestCommands:
         assert "tea+" in output
 
 
+class TestMethodsCommand:
+    def test_methods_lists_every_registered_method(self, capsys):
+        from repro.estimators import all_specs
+
+        assert main(["methods"]) == 0
+        output = capsys.readouterr().out
+        for spec in all_specs():
+            assert spec.name in output
+        assert "fusible" in output
+        assert "deterministic" in output
+        assert "num_walks" in output  # parameter schemas are rendered
+
+    def test_unknown_method_is_a_clean_error_listing_options(self, capsys):
+        code = main(
+            ["cluster", "--dataset", "grid3d-sim", "--seed-node", "0",
+             "--method", "no-such-method"]
+        )
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "error:" in captured.err
+        assert "unknown method" in captured.err
+        assert "tea+" in captured.err  # lists the valid options
+        assert "Traceback" not in captured.err
+
+    def test_method_alias_accepted(self, capsys):
+        code = main(
+            ["cluster", "--dataset", "grid3d-sim", "--seed-node", "5",
+             "--method", "tea-plus", "--rng", "1"]
+        )
+        assert code == 0
+        assert "method          : tea+" in capsys.readouterr().out
+
+    def test_hk_push_plus_and_nibble_reachable(self, capsys):
+        for method in ("hk-push+", "nibble"):
+            code = main(
+                ["cluster", "--dataset", "grid3d-sim", "--seed-node", "5",
+                 "--method", method]
+            )
+            assert code == 0
+            assert f"method          : {method}" in capsys.readouterr().out
+
+    def test_param_flag_validated_through_registry(self, capsys):
+        code = main(
+            ["cluster", "--dataset", "grid3d-sim", "--seed-node", "5",
+             "--method", "monte-carlo", "--param", "num_walks=500", "--rng", "1"]
+        )
+        assert code == 0
+        assert "random walks    : 500" in capsys.readouterr().out
+
+    def test_unknown_param_is_a_clean_error_listing_allowed(self, capsys):
+        code = main(
+            ["cluster", "--dataset", "grid3d-sim", "--seed-node", "5",
+             "--method", "tea+", "--param", "bogus=1"]
+        )
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "unknown parameter" in captured.err
+        assert "max_walks" in captured.err  # lists the allowed options
+
+    def test_out_of_range_param_rejected_eagerly(self, capsys):
+        code = main(
+            ["cluster", "--dataset", "grid3d-sim", "--seed-node", "5",
+             "--method", "monte-carlo", "--param", "num_walks=0"]
+        )
+        assert code == 2
+        assert "out of range" in capsys.readouterr().err
+
+    def test_malformed_param_flag(self, capsys):
+        code = main(
+            ["cluster", "--dataset", "grid3d-sim", "--seed-node", "5",
+             "--param", "steps"]
+        )
+        assert code == 2
+        assert "KEY=VALUE" in capsys.readouterr().err
+
+    def test_hkpr_param_flag_folds_into_params(self, capsys):
+        code = main(
+            ["cluster", "--dataset", "grid3d-sim", "--seed-node", "5",
+             "--method", "monte-carlo", "--param", "t=8", "--param",
+             "num_walks=200", "--rng", "1"]
+        )
+        assert code == 0
+        assert "random walks    : 200" in capsys.readouterr().out
+
+    def test_hkpr_flags_rejected_for_non_hkpr_methods(self, capsys):
+        code = main(
+            ["cluster", "--dataset", "grid3d-sim", "--seed-node", "5",
+             "--method", "nibble", "--t", "10"]
+        )
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "--t" in captured.err
+        assert "--param" in captured.err  # points at the right mechanism
+
+    def test_declared_flags_map_to_kwargs_for_adapter_methods(self, capsys):
+        # fora declares eps_r (a kwarg, not an HKPRParams field), so the
+        # flag applies; --t is undeclared for fora and must error.
+        code = main(
+            ["cluster", "--dataset", "grid3d-sim", "--seed-node", "5",
+             "--method", "fora", "--eps-r", "0.3", "--rng", "1"]
+        )
+        assert code == 0
+        assert "method          : fora" in capsys.readouterr().out
+        code = main(
+            ["cluster", "--dataset", "grid3d-sim", "--seed-node", "5",
+             "--method", "fora", "--t", "10"]
+        )
+        assert code == 2
+        assert "--t does not apply" in capsys.readouterr().err
+
+    def test_flow_method_rejected_with_guidance(self, capsys):
+        code = main(
+            ["cluster", "--dataset", "grid3d-sim", "--seed-node", "5",
+             "--method", "crd"]
+        )
+        assert code == 2
+        assert "sweepable" in capsys.readouterr().err
+
+
 class TestBackendsCommand:
     def test_backends_lists_every_registered_backend(self, capsys):
         from repro.engine import available_backends, default_backend_name

@@ -43,14 +43,23 @@ class TestPublicAPI:
             assert hasattr(repro, name), name
 
     def test_estimator_registry_contents(self):
+        # The legacy table is derived from the unified registry's HKPR
+        # family, which PR 5 extended with the push-only methods.
         assert set(repro.ESTIMATORS) == {
             "exact",
             "monte-carlo",
             "cluster-hkpr",
             "hk-relax",
+            "hk-push",
+            "hk-push+",
             "tea",
             "tea+",
         }
+
+    def test_declarative_estimate_exported(self):
+        graph = repro.generators.ring_graph(20)
+        result = repro.estimate(graph, 0, method="monte-carlo", rng=1, num_walks=50)
+        assert result.counters.random_walks == 50
 
     def test_quickstart_docstring_example_runs(self):
         graph = repro.generators.powerlaw_cluster_graph(200, 3, 0.3, seed=1)

@@ -23,7 +23,10 @@ class TestLocalCluster:
         assert result.method == "exact"
         assert result.size >= 1
 
-    @pytest.mark.parametrize("method", ["exact", "hk-relax", "tea", "tea+"])
+    @pytest.mark.parametrize(
+        "method",
+        ["exact", "hk-relax", "hk-push", "hk-push+", "tea", "tea+"],
+    )
     def test_deterministic_and_contains_seed(self, clustered_graph, method):
         params = HKPRParams(delta=1.0 / clustered_graph.num_nodes)
         result = local_cluster(
@@ -56,9 +59,50 @@ class TestLocalCluster:
         assert result.contains_seed()
 
     def test_supported_methods_constant_matches_registry(self):
+        from repro.estimators import method_names
         from repro.hkpr import ESTIMATORS
 
-        assert set(SUPPORTED_METHODS) == set(ESTIMATORS)
+        assert set(SUPPORTED_METHODS) == set(method_names(sweepable=True))
+        # The legacy HKPR estimator table is a subset of what the sweep accepts.
+        assert set(ESTIMATORS) <= set(SUPPORTED_METHODS)
+
+    def test_hk_push_methods_sweepable(self, clustered_graph):
+        """hk-push and hk-push+ produce sweepable HKPR vectors (push-only
+        lower bounds), so local_cluster must accept them."""
+        for method in ("hk-push", "hk-push+"):
+            result = local_cluster(clustered_graph, 0, method=method)
+            assert result.method == method
+            assert result.contains_seed()
+            assert 0.0 <= result.conductance <= 1.0
+            # Push-only methods run no walks.
+            assert result.hkpr.counters.random_walks == 0
+            assert result.hkpr.counters.push_operations > 0
+
+    def test_hk_push_plus_matches_tea_plus_reserve_when_early_exit(
+        self, clustered_graph
+    ):
+        """When TEA+ early-exits (Theorem 2), its output IS the HK-Push+
+        reserve, so the two methods must agree exactly."""
+        from repro.hkpr import hk_push_plus_hkpr, tea_plus
+
+        params = HKPRParams(eps_r=0.9, delta=5e-2, p_f=1e-2)
+        plus = tea_plus(clustered_graph, 0, params, rng=1)
+        if plus.early_exit:
+            push_only = hk_push_plus_hkpr(clustered_graph, 0, params)
+            assert push_only.estimates.to_dict() == plus.estimates.to_dict()
+
+    @pytest.mark.parametrize("method", ["nibble", "pr-nibble", "fora", "mc-ppr"])
+    def test_sweepable_baselines_and_ppr_methods(self, clustered_graph, method):
+        kwargs = {"num_walks": 500} if method == "mc-ppr" else {}
+        result = local_cluster(
+            clustered_graph, 0, method=method, rng=3, estimator_kwargs=kwargs
+        )
+        assert result.method == method
+        assert result.contains_seed()
+
+    def test_method_aliases_accepted(self, clustered_graph):
+        result = local_cluster(clustered_graph, 0, method="tea-plus", rng=2)
+        assert result.method == "tea+"
 
     def test_low_conductance_on_planted_blocks(self, planted_graph_and_blocks):
         graph, blocks = planted_graph_and_blocks

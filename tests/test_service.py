@@ -138,11 +138,44 @@ class TestQueryService:
             ("exact", {}),
             ("mc-ppr", {"num_walks": 300, "alpha": 0.2}),
             ("fora", {"max_walks": 500}),
+            # Registered-by-spec methods the old hand-maintained planner
+            # table could not serve: push-only HKPR, exact PPR, and the
+            # sweepable classic baselines.
+            ("hk-push", {}),
+            ("hk-push+", {}),
+            ("exact-ppr", {}),
+            ("nibble", {"steps": 10}),
+            ("pr-nibble", {"eps": 1e-4}),
+            ("cluster-hkpr", {"eps": 0.2, "num_walks": 300}),
         ]:
             response = service.query("grid", method, 0, params)
             assert response.result.seed == 0
             assert response.result.support_size() > 0
             assert response.latency_seconds >= 0
+
+    def test_every_service_method_is_answerable(self, service):
+        """Whatever SERVICE_METHODS lists must actually serve (cheap knobs)."""
+        from repro.service.planner import SERVICE_METHODS
+
+        cheap = {
+            "monte-carlo": {"num_walks": 100},
+            "cluster-hkpr": {"eps": 0.3, "num_walks": 100},
+            "mc-ppr": {"num_walks": 100},
+            "fora": {"max_walks": 100},
+            "tea": {"max_walks": 100},
+            "tea+": {"max_walks": 100},
+            "nibble": {"steps": 5},
+        }
+        for method in SERVICE_METHODS:
+            response = service.query("grid", method, 0, cheap.get(method, {}))
+            assert response.result.support_size() > 0, method
+
+    def test_alias_normalized_to_canonical_name_and_cache_key(self, service):
+        first = service.query("grid", "tea-plus", 2, {"max_walks": 300})
+        assert first.request.method == "tea+"
+        # The alias and the canonical spelling share one cache entry.
+        second = service.query("grid", "tea+", 2, {"max_walks": 300})
+        assert second.cached
 
     def test_negative_walk_budget_rejected_at_submit(self, service):
         with pytest.raises(ServiceError, match="out of range"):
@@ -200,6 +233,38 @@ class TestQueryService:
             service.submit("grid", "magic", 0)
         with pytest.raises(ServiceError, match="not in graph"):
             service.submit("grid", "monte-carlo", 10_000)
+
+    def test_single_query_exceeding_whole_walk_budget_rejected(self, registry):
+        """A query whose estimate alone exceeds the budget can never fit —
+        the idle-server escape hatch must not admit it (a default
+        cluster-hkpr query implies ~1/eps^3 walks and would wedge the
+        dispatch thread forever)."""
+        with QueryService(
+            registry, max_batch=4, max_inflight_walks=10_000, cache_entries=0
+        ) as svc:
+            with pytest.raises(ServiceOverloadedError, match="exceed"):
+                svc.submit("grid", "cluster-hkpr", 0)  # theory-driven count
+            with pytest.raises(ServiceOverloadedError, match="exceed"):
+                svc.submit("grid", "monte-carlo", 0, {"num_walks": 20_000})
+            # With explicit, in-budget knobs the same methods serve fine.
+            response = svc.query(
+                "grid", "cluster-hkpr", 0, {"eps": 0.2, "num_walks": 500}
+            )
+            assert response.result.support_size() > 0
+            assert svc.stats()["rejected_total"] == 2
+            # tea+'s omega estimate is only an upper bound (the push phase
+            # usually collapses it), so an over-budget estimate keeps the
+            # idle-server escape hatch instead of hard-rejecting.
+            from repro.service.planner import estimate_walks
+
+            entry = svc.registry.get("grid")
+            request = normalize_request("grid", "tea+", 0, {"delta": 1e-7})
+            assert estimate_walks(entry, request) > 10_000
+            assert svc.query(
+                "grid", "tea+", 0, {"delta": 1e-7, "max_walks": 500}
+            ).result.support_size() > 0
+            # Unbounded: admitted via the escape hatch (no 429), served.
+            assert svc.query("grid", "tea+", 0, {"delta": 1e-7}, timeout=120)
 
     def test_admission_control_inflight_walks(self, registry):
         with QueryService(
@@ -313,6 +378,29 @@ class TestHTTPFrontend:
         )
         with urllib.request.urlopen(request, timeout=30) as response:
             return json.loads(response.read())
+
+    def test_methods_endpoint_rendered_from_registry(self, http_service):
+        from repro.service.planner import SERVICE_METHODS
+
+        base, _ = http_service
+        with urllib.request.urlopen(f"{base}/methods", timeout=10) as response:
+            payload = json.loads(response.read())
+        names = {entry["name"] for entry in payload["methods"]}
+        assert names == set(SERVICE_METHODS)
+        by_name = {entry["name"]: entry for entry in payload["methods"]}
+        assert by_name["tea+"]["fusible"] is True
+        assert by_name["hk-relax"]["deterministic"] is True
+        param_names = {p["name"] for p in by_name["monte-carlo"]["params"]}
+        assert {"t", "eps_r", "delta", "p_f", "num_walks"} <= param_names
+
+    def test_hk_push_plus_and_nibble_served_over_http(self, http_service):
+        base, _ = http_service
+        for method in ("hk-push+", "nibble"):
+            payload = self._post(
+                base, {"graph": "grid", "method": method, "seed_node": 0, "top_k": 5}
+            )
+            assert payload["method"] == method
+            assert len(payload["top"]) > 0
 
     def test_query_stats_graphs_healthz(self, http_service):
         base, _ = http_service
