@@ -94,6 +94,13 @@ def test_walk_engine_speedup(graph, weights, results_dir):
     speedups = {
         name: seconds["reference"] / timing for name, timing in seconds.items()
     }
+    # Speedup over the *vectorized* default is the honest headline: every
+    # optimized backend looks enormous against the scalar reference loop
+    # (e.g. parallel at ~95x vs reference while ~1x vs vectorized), so both
+    # baselines are recorded.
+    speedups_vs_vectorized = {
+        name: seconds["vectorized"] / timing for name, timing in seconds.items()
+    }
 
     payload = {
         "benchmark": "micro_walk_engine",
@@ -102,6 +109,7 @@ def test_walk_engine_speedup(graph, weights, results_dir):
         "t": weights.t,
         "backend_seconds": seconds,
         "speedup_vs_reference": speedups,
+        "speedup_vs_vectorized": speedups_vs_vectorized,
         # Kept for continuity with the PR-1 payload shape.
         "reference_seconds": seconds["reference"],
         "vectorized_seconds": seconds["vectorized"],
@@ -110,7 +118,11 @@ def test_walk_engine_speedup(graph, weights, results_dir):
     path = results_dir / "BENCH_micro_walk_engine.json"
     path.write_text(json.dumps(payload, indent=2) + "\n")
     summary = ", ".join(f"{name}: {value:.1f}x" for name, value in speedups.items())
+    honest = ", ".join(
+        f"{name}: {value:.2f}x" for name, value in speedups_vs_vectorized.items()
+    )
     print(f"\nwalk engine speedups vs reference: {summary}  [saved to {path}]")
+    print(f"walk engine speedups vs vectorized: {honest}")
 
     assert speedups["vectorized"] >= MIN_SPEEDUP, (
         f"vectorized walk phase is only {speedups['vectorized']:.1f}x faster "

@@ -18,6 +18,9 @@ writing Python:
   result table.
 * ``repro-cli serve`` — start the online query server (:mod:`repro.service`)
   on one or more graphs, exposing the JSON-over-HTTP API.
+* ``repro-cli graph pack`` — convert an edge list (or a generated /
+  built-in graph) into the mmap-able ``.rcsr`` binary CSR container
+  (:mod:`repro.graph.binfmt`); ``repro-cli graph info`` inspects one.
 
 Method names, parameter validation and help text for ``cluster`` are all
 rendered from the estimator registry — the CLI keeps no method table.
@@ -35,7 +38,10 @@ Examples
         --param steps=25 --param truncation=1e-5
     python -m repro.cli cluster --dataset dblp-sim --seed-node 42 --backend parallel
     python -m repro.cli experiment figure3 --datasets grid3d-sim --num-seeds 2
+    python -m repro.cli graph pack --edge-list my_graph.txt -o my_graph.rcsr
+    python -m repro.cli graph info my_graph.rcsr
     python -m repro.cli serve --dataset dblp-sim --port 8355
+    python -m repro.cli serve --binary my_graph.rcsr --graph-name big
     python -m repro.cli serve --generate "chung-lu,n=100000,seed=11" --graph-name big
 """
 
@@ -158,6 +164,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="register a graph from an edge-list file (repeatable)",
     )
     serve.add_argument(
+        "--binary", action="append", default=[],
+        help=(
+            "register a packed .rcsr binary CSR graph, memory-mapped "
+            "(repeatable; see `repro-cli graph pack`)"
+        ),
+    )
+    serve.add_argument(
         "--generate", action="append", default=[], metavar="SPEC",
         help=(
             "register a generated graph, e.g. 'chung-lu,n=100000,gamma=2.5,"
@@ -199,6 +212,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="result cache TTL in seconds (default: no expiry)",
     )
     serve.add_argument("--rng", type=int, default=None, help="batch RNG seed")
+
+    graph = subparsers.add_parser(
+        "graph", help="pack / inspect binary CSR graph containers"
+    )
+    graph_sub = graph.add_subparsers(dest="graph_command", required=True)
+    pack = graph_sub.add_parser(
+        "pack",
+        help="convert a graph to the mmap-able .rcsr binary CSR format",
+    )
+    pack_source = pack.add_mutually_exclusive_group(required=True)
+    pack_source.add_argument(
+        "--edge-list", help="path to a whitespace-separated edge list"
+    )
+    pack_source.add_argument(
+        "--dataset", choices=sorted(DATASETS), help="built-in surrogate dataset"
+    )
+    pack_source.add_argument(
+        "--generate", metavar="SPEC",
+        help="generator spec, e.g. 'chung-lu,n=100000,seed=11'",
+    )
+    pack.add_argument(
+        "--output", "-o", required=True, help="output .rcsr path"
+    )
+    info = graph_sub.add_parser(
+        "info", help="print the header and sizes of an .rcsr container"
+    )
+    info.add_argument("path", help="path to an .rcsr file")
 
     experiment = subparsers.add_parser(
         "experiment", help="run one of the paper's experiments"
@@ -412,6 +452,52 @@ def _run_backends(_: argparse.Namespace) -> int:
     return 0
 
 
+def _run_graph(args: argparse.Namespace) -> int:
+    """``graph pack`` / ``graph info``: the .rcsr packing workflow."""
+    import time
+
+    from repro.graph.binfmt import read_graph_binary
+    from repro.service.registry import build_from_spec
+
+    if args.graph_command == "pack":
+        started = time.perf_counter()
+        if args.edge_list:
+            graph, _ = load_edge_list(args.edge_list)
+            source = args.edge_list
+        elif args.dataset:
+            graph = load_dataset(args.dataset)
+            source = args.dataset
+        else:
+            graph = build_from_spec(args.generate)
+            source = args.generate
+        load_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        path = graph.to_binary(args.output)
+        pack_seconds = time.perf_counter() - started
+        print(f"packed          : {source} -> {path}")
+        print(f"nodes / edges   : {graph.num_nodes} / {graph.num_edges}")
+        print(f"file size       : {path.stat().st_size} bytes")
+        print(f"load / pack time: {load_seconds:.2f}s / {pack_seconds:.2f}s")
+        print(f"serve with      : repro-cli serve --binary {path}")
+        return 0
+
+    started = time.perf_counter()
+    graph = read_graph_binary(args.path, mmap=True)
+    map_seconds = time.perf_counter() - started
+    backing = graph.backing
+    print(f"file            : {args.path}")
+    print(f"nodes / edges   : {graph.num_nodes} / {graph.num_edges}")
+    print(f"csr bytes       : {graph.csr_nbytes}")
+    print(
+        "sections        : "
+        + ", ".join(
+            f"{key}@{offset}" for key, offset in backing["offsets"].items()
+        )
+    )
+    print(f"mmap time       : {map_seconds * 1000:.2f} ms")
+    return 0
+
+
 def build_service_from_args(args: argparse.Namespace):
     """Construct the (not yet started) :class:`QueryService` for ``serve``.
 
@@ -423,11 +509,13 @@ def build_service_from_args(args: argparse.Namespace):
     sources = (
         [("dataset", name) for name in args.dataset]
         + [("edge-list", path) for path in args.edge_list]
+        + [("binary", path) for path in getattr(args, "binary", [])]
         + [("generate", spec) for spec in args.generate]
     )
     if not sources:
         raise ReproError(
-            "serve needs at least one graph: --dataset, --edge-list or --generate"
+            "serve needs at least one graph: --dataset, --edge-list, "
+            "--binary or --generate"
         )
     if args.graph_name is not None and len(sources) != 1:
         raise ReproError("--graph-name requires exactly one graph source")
@@ -440,6 +528,8 @@ def build_service_from_args(args: argparse.Namespace):
             registry.add_dataset(value, name=args.graph_name)
         elif kind == "edge-list":
             registry.add_edge_list(value, name=args.graph_name)
+        elif kind == "binary":
+            registry.add_binary(value, name=args.graph_name)
         else:
             registry.add_generated(value, name=args.graph_name)
 
@@ -468,7 +558,8 @@ def _run_serve(args: argparse.Namespace) -> int:
         print(
             f"graph           : {entry['name']} "
             f"(n={entry['num_nodes']}, m={entry['num_edges']}, "
-            f"source {entry['source']})"
+            f"source {entry['source']}, storage {entry['storage']}, "
+            f"loaded in {entry['load_seconds']:.2f}s)"
         )
     print(f"backend         : {service.backend.name}")
     print(f"walk workers    : {_worker_count_line()}")
@@ -517,6 +608,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "methods": _run_methods,
         "datasets": _run_datasets,
         "backends": _run_backends,
+        "graph": _run_graph,
         "experiment": _run_experiment,
         "serve": _run_serve,
     }

@@ -87,7 +87,22 @@ def chunk_sizes(total: int, chunk: int | None = None) -> Iterator[int]:
 
 @runtime_checkable
 class Backend(Protocol):
-    """Execution engine for the random-walk phases of the estimators."""
+    """Execution engine for the random-walk phases of the estimators.
+
+    Beyond the three required kernels, backends may advertise *optional*
+    capabilities (deliberately not part of this protocol, so minimal
+    backends remain valid):
+
+    * ``supports_step_counts`` — the kernels accept a per-walk
+      ``step_counts`` out-array for exact fused-batch accounting.
+    * ``supports_fused`` plus ``fused_push_walk(graph, group, rng, *,
+      want_steps=False)`` — one-pass fused execution of a multi-query
+      group (:mod:`repro.engine.fused`): sample each walk's start from its
+      query's residue distribution and run the walk in the same kernel
+      call, returning ``(ends, per_walk_steps)``.
+      :func:`~repro.engine.multi.execute_plans` routes eligible plans
+      through it and falls back to the task path otherwise.
+    """
 
     name: str
 
@@ -244,6 +259,16 @@ def use_backend(name: str) -> Iterator[Backend]:
         set_default_backend(previous)
 
 
+from repro.engine.fused import (  # noqa: E402
+    FusedGroup,
+    FusedQuery,
+    fusion_disabled,
+    fusion_enabled,
+    run_fused_queries,
+    sample_fused_starts,
+    set_fusion_enabled,
+    supports_fused,
+)
 from repro.engine.multi import (  # noqa: E402
     WalkPlan,
     WalkTask,
@@ -268,6 +293,8 @@ if NUMBA_AVAILABLE:
 __all__ = [
     "BACKEND_ENV_VAR",
     "Backend",
+    "FusedGroup",
+    "FusedQuery",
     "NUMBA_AVAILABLE",
     "NumbaBackend",
     "ParallelBackend",
@@ -281,11 +308,17 @@ __all__ = [
     "chunk_sizes",
     "default_backend_name",
     "execute_plans",
+    "fusion_disabled",
+    "fusion_enabled",
     "get_backend",
     "numba_available",
     "register_backend",
+    "run_fused_queries",
     "run_walk_tasks",
+    "sample_fused_starts",
     "set_default_backend",
+    "set_fusion_enabled",
+    "supports_fused",
     "unregister_backend",
     "use_backend",
 ]

@@ -297,22 +297,63 @@ def execute_plans(
     plans: Sequence[WalkPlan],
     rng: np.random.Generator,
 ) -> list[Any]:
-    """Run every plan's walk tasks as fused batches and finalize each plan.
+    """Run every plan's walk phase as fused batches and finalize each plan.
 
     The batched entry points (``monte_carlo_hkpr_many`` et al.) and the
     service micro-batcher both funnel through here, so fusion semantics
     exist exactly once.
+
+    Routing: when the resolved backend implements the optional
+    ``fused_push_walk`` capability (and fusion is not disabled), every plan
+    exposing ``fused_queries()`` runs through the one-pass fused kernels of
+    :mod:`repro.engine.fused` — start sampling and walks in a single kernel
+    call per query group, no per-plan Python re-entry.  Plans without the
+    hook (e.g. :class:`~repro.estimators.spec.DirectPlan` or third-party
+    plans) and all plans on non-fused backends take the classic
+    :class:`WalkTask` path.  Fused plans execute before task plans, each
+    set drawing from the shared ``rng`` in plan order.
     """
-    tasks: list[WalkTask] = []
-    counters_list: list[OperationCounters | None] = []
-    spans: list[tuple[int, int]] = []
-    for plan in plans:
-        start = len(tasks)
-        tasks.extend(plan.tasks)
-        counters_list.extend([plan.counters] * len(plan.tasks))
-        spans.append((start, len(tasks)))
-    endpoints = run_walk_tasks(backend, graph, tasks, rng, counters_list=counters_list)
-    return [
-        plan.finalize(endpoints[start:stop])
-        for plan, (start, stop) in zip(plans, spans)
-    ]
+    from repro.engine.fused import fusion_enabled, run_fused_queries, supports_fused
+
+    engine = get_backend(backend)
+    fuse = fusion_enabled() and supports_fused(engine)
+
+    results: list[Any] = [None] * len(plans)
+    fused_queries: list[Any] = []
+    fused_counters: list[OperationCounters | None] = []
+    fused_spans: list[tuple[int, int, int]] = []
+    task_indices: list[int] = []
+    for index, plan in enumerate(plans):
+        getter = getattr(plan, "fused_queries", None) if fuse else None
+        if getter is None:
+            task_indices.append(index)
+            continue
+        queries = getter()
+        start = len(fused_queries)
+        fused_queries.extend(queries)
+        fused_counters.extend([plan.counters] * len(queries))
+        fused_spans.append((index, start, len(fused_queries)))
+
+    if fused_spans:
+        endpoints = run_fused_queries(
+            engine, graph, fused_queries, rng, counters_list=fused_counters
+        )
+        for index, start, stop in fused_spans:
+            results[index] = plans[index].finalize(endpoints[start:stop])
+
+    if task_indices:
+        tasks: list[WalkTask] = []
+        counters_list: list[OperationCounters | None] = []
+        spans: list[tuple[int, int, int]] = []
+        for index in task_indices:
+            plan = plans[index]
+            start = len(tasks)
+            tasks.extend(plan.tasks)
+            counters_list.extend([plan.counters] * (len(tasks) - start))
+            spans.append((index, start, len(tasks)))
+        endpoints = run_walk_tasks(
+            engine, graph, tasks, rng, counters_list=counters_list
+        )
+        for index, start, stop in spans:
+            results[index] = plans[index].finalize(endpoints[start:stop])
+    return results

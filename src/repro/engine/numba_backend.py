@@ -23,16 +23,19 @@ which is why parity is checked statistically, not bytewise.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from repro.engine.vectorized import _validated_hops, _validated_starts
 
 try:  # pragma: no cover - exercised only where numba is installed
-    from numba import njit
+    from numba import njit, prange
 
     NUMBA_AVAILABLE = True
 except ImportError:  # pragma: no cover - depends on the environment
     NUMBA_AVAILABLE = False
+    prange = range
 
     def njit(*jit_args, **jit_kwargs):
         """No-op stand-in: the kernels below run as plain Python."""
@@ -109,6 +112,221 @@ def _poisson_walk_kernel(indptr, indices, degrees, starts, t, max_length, seed):
     return ends, total_steps
 
 
+# --------------------------------------------------------------------- #
+# Fused push+walk kernels (counter-based RNG, thread-safe under prange)
+# --------------------------------------------------------------------- #
+# The legacy np.random state the kernels above reseed is per-*process*, so
+# a ``prange`` loop over walks would race on it.  The fused kernels use a
+# counter-based splitmix64 scheme instead: walk ``w``'s stream seed is the
+# avalanche-mixed ``mix64(base + (w+1)·γ)`` (mixing is load-bearing — raw
+# ``base + w·γ`` seeds would make walk ``w``'s draw ``k`` equal walk
+# ``w+1``'s draw ``k-1``), and draw ``k`` of that stream is
+# ``mix64(s0 + (k+1)·γ)``.  Every draw is addressed by ``(walk, index)``
+# alone, so results are independent of thread count and schedule, and a
+# two-pass split (sample pass reads draw 0; walk pass starts at draw 1)
+# reproduces the one-pass kernel byte for byte.
+
+_U64_GAMMA = np.uint64(0x9E3779B97F4A7C15)
+_U64_MIX1 = np.uint64(0xBF58476D1CE4E5B9)
+_U64_MIX2 = np.uint64(0x94D049BB133111EB)
+#: Poisson lengths are drawn by Knuth inversion; the heat constant is split
+#: into chunks of at most this (Poisson additivity) so ``exp(-t)`` never
+#: underflows for large ``t``.
+_POISSON_CHUNK = 10.0
+
+
+@njit(cache=True)
+def _mix64(z):
+    z = (z ^ (z >> np.uint64(30))) * _U64_MIX1
+    z = (z ^ (z >> np.uint64(27))) * _U64_MIX2
+    return z ^ (z >> np.uint64(31))
+
+
+@njit(cache=True)
+def _stream_seed(base_seed, walk):
+    return _mix64(np.uint64(base_seed) + np.uint64(walk + 1) * _U64_GAMMA)
+
+
+@njit(cache=True)
+def _u64_at(state, k):
+    return _mix64(state + np.uint64(k + 1) * _U64_GAMMA)
+
+
+@njit(cache=True)
+def _u01_at(state, k):
+    # 53-bit mantissa from the top bits; uniform on [0, 1).
+    return float(_u64_at(state, k) >> np.uint64(11)) * 1.1102230246251565e-16
+
+
+@njit(cache=True)
+def _pick_entry(entry_cdf, entry_ptr, q, u):
+    """First entry of query ``q``'s CDF segment exceeding ``q + u``."""
+    target = float(q) + u
+    lo = entry_ptr[q]
+    hi = entry_ptr[q + 1]
+    last = hi - 1
+    while lo < hi:
+        mid = (lo + hi) >> 1
+        if entry_cdf[mid] <= target:
+            lo = mid + 1
+        else:
+            hi = mid
+    # q + u can round up to exactly q + 1 for large q; stay in-segment.
+    return lo if lo <= last else last
+
+
+@njit(cache=True)
+def _poisson_length(state, k, t):
+    """Knuth-inversion Poisson(t) draw at stream position ``k``.
+
+    Returns ``(length, next_k)`` — the draw consumes a variable number of
+    uniforms, so the caller resumes its stream at ``next_k``.
+    """
+    total = 0
+    t_rem = t
+    while t_rem > 0.0:
+        chunk = t_rem if t_rem < _POISSON_CHUNK else _POISSON_CHUNK
+        limit = math.exp(-chunk)
+        product = 1.0
+        count = -1
+        while product > limit:
+            product *= _u01_at(state, k)
+            k += 1
+            count += 1
+        total += count
+        t_rem -= chunk
+    return total, k
+
+
+@njit(cache=True, parallel=True)
+def _fused_sample_kernel(entry_nodes, entry_hops, entry_cdf, entry_ptr, walk_qid, base_seed):
+    total = walk_qid.shape[0]
+    starts = np.empty(total, dtype=np.int64)
+    hops = np.zeros(total, dtype=np.int64)
+    has_hops = entry_hops.shape[0] == entry_nodes.shape[0]
+    for w in prange(total):
+        state = _stream_seed(base_seed, w)
+        pick = _pick_entry(entry_cdf, entry_ptr, walk_qid[w], _u01_at(state, 0))
+        starts[w] = entry_nodes[pick]
+        if has_hops:
+            hops[w] = entry_hops[pick]
+    return starts, hops
+
+
+@njit(cache=True, parallel=True)
+def _fused_heat_kernel(indptr, indices, degrees, entry_nodes, entry_hops,
+                       entry_cdf, entry_ptr, walk_qid, stop_table, max_hop,
+                       base_seed, starts_in, hops_in):
+    total = walk_qid.shape[0]
+    ends = np.empty(total, dtype=np.int64)
+    steps = np.zeros(total, dtype=np.int64)
+    have_starts = starts_in.shape[0] == total
+    for w in prange(total):
+        state = _stream_seed(base_seed, w)
+        if have_starts:
+            current = starts_in[w]
+            hop = hops_in[w]
+        else:
+            pick = _pick_entry(entry_cdf, entry_ptr, walk_qid[w], _u01_at(state, 0))
+            current = entry_nodes[pick]
+            hop = entry_hops[pick]
+        k = 1  # draw 0 belongs to the sample pass, taken or not
+        n_steps = 0
+        while True:
+            h = hop if hop < max_hop else max_hop
+            u = _u01_at(state, k)
+            k += 1
+            if u < stop_table[h]:
+                break
+            deg = degrees[current]
+            if deg == 0:
+                break
+            r = _u64_at(state, k)
+            k += 1
+            current = indices[indptr[current] + np.int64(r % np.uint64(deg))]
+            hop += 1
+            n_steps += 1
+        ends[w] = current
+        steps[w] = n_steps
+    return ends, steps
+
+
+@njit(cache=True, parallel=True)
+def _fused_poisson_kernel(indptr, indices, degrees, entry_nodes, entry_cdf,
+                          entry_ptr, walk_qid, t, max_length, base_seed,
+                          starts_in):
+    total = walk_qid.shape[0]
+    ends = np.empty(total, dtype=np.int64)
+    steps = np.zeros(total, dtype=np.int64)
+    have_starts = starts_in.shape[0] == total
+    for w in prange(total):
+        state = _stream_seed(base_seed, w)
+        if have_starts:
+            current = starts_in[w]
+        else:
+            pick = _pick_entry(entry_cdf, entry_ptr, walk_qid[w], _u01_at(state, 0))
+            current = entry_nodes[pick]
+        remaining, k = _poisson_length(state, 1, t)
+        if max_length >= 0 and remaining > max_length:
+            remaining = max_length
+        n_steps = 0
+        while remaining > 0 and degrees[current] > 0:
+            r = _u64_at(state, k)
+            k += 1
+            current = indices[indptr[current] + np.int64(r % np.uint64(degrees[current]))]
+            remaining -= 1
+            n_steps += 1
+        ends[w] = current
+        steps[w] = n_steps
+    return ends, steps
+
+
+@njit(cache=True, parallel=True)
+def _fused_geometric_kernel(indptr, indices, degrees, entry_nodes, entry_cdf,
+                            entry_ptr, walk_qid, alpha, base_seed, starts_in):
+    total = walk_qid.shape[0]
+    ends = np.empty(total, dtype=np.int64)
+    steps = np.zeros(total, dtype=np.int64)
+    have_starts = starts_in.shape[0] == total
+    for w in prange(total):
+        state = _stream_seed(base_seed, w)
+        if have_starts:
+            current = starts_in[w]
+        else:
+            pick = _pick_entry(entry_cdf, entry_ptr, walk_qid[w], _u01_at(state, 0))
+            current = entry_nodes[pick]
+        k = 1
+        n_steps = 0
+        while True:
+            u = _u01_at(state, k)
+            k += 1
+            if u < alpha:
+                break
+            deg = degrees[current]
+            if deg == 0:
+                break
+            r = _u64_at(state, k)
+            k += 1
+            current = indices[indptr[current] + np.int64(r % np.uint64(deg))]
+            n_steps += 1
+        ends[w] = current
+        steps[w] = n_steps
+    return ends, steps
+
+
+def _call_fused(kernel, *args):
+    """Invoke a fused kernel; in fallback mode, silence uint64 wraparound.
+
+    splitmix64 relies on modular 2**64 arithmetic.  Compiled code wraps
+    silently; NumPy scalar ops in the plain-Python fallback wrap too but
+    emit overflow ``RuntimeWarning``s, which ``errstate`` suppresses.
+    """
+    if NUMBA_AVAILABLE:
+        return kernel(*args)
+    with np.errstate(over="ignore"):
+        return kernel(*args)
+
+
 @njit(cache=True)
 def _geometric_walk_kernel(indptr, indices, degrees, starts, alpha, seed):
     np.random.seed(seed)
@@ -134,11 +352,86 @@ class NumbaBackend:
         "JIT-compiled scalar-loop kernels over raw CSR arrays (requires "
         "numba; falls back to plain-Python loops without it)"
     )
+    #: Optional fused push+walk capability (:mod:`repro.engine.fused`):
+    #: start sampling and the walk run in one compiled ``prange`` pass with
+    #: a counter-based per-walk RNG (thread-count independent).
+    supports_fused = True
 
     @staticmethod
     def _draw_seed(rng: np.random.Generator) -> int:
         # int32 range: accepted by both numba's and numpy's legacy seed().
         return int(rng.integers(0, 2**31 - 1))
+
+    @staticmethod
+    def _run_fused(graph, group, base_seed: int, starts_in, hops_in):
+        """Dispatch a fused group to its kernel (one pass when ``starts_in``
+        is empty, walk-only second pass when it holds sampled starts)."""
+        if group.kind == "heat":
+            return _call_fused(
+                _fused_heat_kernel,
+                graph.indptr, graph.indices, graph.degrees,
+                group.entry_nodes, group.entry_hops, group.entry_cdf,
+                group.entry_ptr, group.walk_qid,
+                group.weights.stop_probability_array(), group.weights.max_hop,
+                base_seed, starts_in, hops_in,
+            )
+        if group.kind == "poisson":
+            return _call_fused(
+                _fused_poisson_kernel,
+                graph.indptr, graph.indices, graph.degrees,
+                group.entry_nodes, group.entry_cdf, group.entry_ptr,
+                group.walk_qid, float(group.weights.t),
+                -1 if group.max_length is None else int(group.max_length),
+                base_seed, starts_in,
+            )
+        return _call_fused(
+            _fused_geometric_kernel,
+            graph.indptr, graph.indices, graph.degrees,
+            group.entry_nodes, group.entry_cdf, group.entry_ptr,
+            group.walk_qid, float(group.alpha), base_seed, starts_in,
+        )
+
+    def fused_push_walk(
+        self,
+        graph,
+        group,
+        rng,
+        *,
+        want_steps: bool = False,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One compiled pass: sample each walk's start from its query's
+        residue CDF (stream draw 0) and run the walk (draws 1..).
+
+        Draws exactly one base seed from ``rng`` per call; walk streams are
+        derived from ``(base seed, walk index)`` alone, so endpoints do not
+        depend on numba's thread count or schedule.  Step counts are always
+        computed (the kernel produces them for free).
+        """
+        empty = np.empty(0, dtype=np.int64)
+        if group.total_walks == 0:
+            return empty, np.zeros(0, dtype=np.int64)
+        base_seed = self._draw_seed(rng)
+        return self._run_fused(graph, group, base_seed, empty, empty)
+
+    @staticmethod
+    def fused_sample_starts(group, base_seed: int):
+        """Two-pass parity helper: the sample pass alone (stream draw 0).
+
+        Returns ``(starts, hops)``; feeding them to
+        :meth:`fused_walk_from_starts` with the same ``base_seed``
+        reproduces :meth:`fused_push_walk` byte for byte.
+        """
+        return _call_fused(
+            _fused_sample_kernel,
+            group.entry_nodes, group.entry_hops, group.entry_cdf,
+            group.entry_ptr, group.walk_qid, base_seed,
+        )
+
+    def fused_walk_from_starts(self, graph, group, starts, hops, base_seed: int):
+        """Two-pass parity helper: the walk pass alone (stream draws 1..)."""
+        if hops is None:
+            hops = np.zeros(starts.shape[0], dtype=np.int64)
+        return self._run_fused(graph, group, base_seed, starts, hops)
 
     def walk_batch(
         self,

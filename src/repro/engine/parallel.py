@@ -10,7 +10,10 @@ concurrently in a separate process.  Three design points:
   workers read the topology without per-batch pickling and the graph is
   held in physical memory once regardless of worker count.  The export is
   released when the graph is garbage-collected or evicted from a small LRU
-  of recently-used graphs.
+  of recently-used graphs.  Graphs loaded from an ``.rcsr`` container with
+  ``mmap=True`` (:mod:`repro.graph.binfmt`) skip the export entirely:
+  workers :func:`numpy.memmap` the same file and share its pages through
+  the OS page cache, so nothing is copied at all.
 
 * **Reproducible per-worker RNG streams.**  Every kernel call draws a fixed
   amount of entropy from the caller's generator, feeds it into a
@@ -139,6 +142,7 @@ class _SharedGraph:
             self.release()
             raise
         self.meta = {
+            "kind": "shm",
             "token": self.token,
             "num_nodes": int(graph.num_nodes),
             "arrays": meta_arrays,
@@ -171,8 +175,31 @@ def _drop_shared(key: int, token: str) -> None:
         del _SHARED_GRAPHS[key]
 
 
+def _mmap_meta(graph) -> dict | None:
+    """File-backed meta for a memory-mapped ``.rcsr`` graph, else ``None``.
+
+    Workers re-map the container file directly (see :func:`_attach_csr`),
+    so no shared-memory export — and no copy of the CSR arrays — is made.
+    """
+    backing = getattr(graph, "backing", None)
+    if not isinstance(backing, dict) or backing.get("kind") != "mmap":
+        return None
+    return {
+        "kind": "mmap",
+        "token": f"mmap:{backing['path']}",
+        "num_nodes": int(graph.num_nodes),
+        "path": backing["path"],
+        "offsets": dict(backing["offsets"]),
+        "n": int(backing["n"]),
+        "m": int(backing["m"]),
+    }
+
+
 def _shared_meta(graph) -> dict | None:
     """Export ``graph`` (or reuse the cached export); ``None`` if unavailable."""
+    meta = _mmap_meta(graph)
+    if meta is not None:
+        return meta
     key = id(graph)
     anchor = _csr_anchor(graph)
     entry = _SHARED_GRAPHS.get(key)
@@ -241,14 +268,36 @@ def _attach_csr(meta: dict) -> _CSRView:  # pragma: no cover - worker-side
     view = _CSRView()
     view.num_nodes = meta["num_nodes"]
     view._segments = []
-    # Note: attaching registers with the resource tracker, which every
-    # multiprocessing child shares with the parent (the tracker fd is
-    # inherited), so this is an idempotent set-add; the single unregister
-    # happens when the parent unlinks the segment.
-    for key, (name, shape, dtype) in meta["arrays"].items():
-        segment = shared_memory.SharedMemory(name=name)
-        view._segments.append(segment)
-        setattr(view, key, np.ndarray(shape, np.dtype(dtype), buffer=segment.buf))
+    if meta.get("kind") == "mmap":
+        # Memory-mapped .rcsr graph: map the container file read-only.
+        # The parent and every worker share the same page-cache pages, so
+        # the topology occupies physical memory once no matter how many
+        # processes touch it.
+        n, m = meta["n"], meta["m"]
+        shapes = {"indptr": (n + 1,), "degrees": (n,), "indices": (2 * m,)}
+        for key, offset in meta["offsets"].items():
+            setattr(
+                view,
+                key,
+                np.memmap(
+                    meta["path"],
+                    dtype=np.dtype("<i8"),
+                    mode="r",
+                    offset=offset,
+                    shape=shapes[key],
+                ),
+            )
+    else:
+        # Note: attaching registers with the resource tracker, which every
+        # multiprocessing child shares with the parent (the tracker fd is
+        # inherited), so this is an idempotent set-add; the single
+        # unregister happens when the parent unlinks the segment.
+        for key, (name, shape, dtype) in meta["arrays"].items():
+            segment = shared_memory.SharedMemory(name=name)
+            view._segments.append(segment)
+            setattr(
+                view, key, np.ndarray(shape, np.dtype(dtype), buffer=segment.buf)
+            )
     _WORKER_GRAPHS[token] = view
     while len(_WORKER_GRAPHS) > _MAX_CACHED_GRAPHS:
         _, evicted = _WORKER_GRAPHS.popitem(last=False)

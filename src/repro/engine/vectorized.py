@@ -193,6 +193,10 @@ class VectorizedBackend:
     #: fusion layer (:mod:`repro.engine.multi`) attribute traversed edges to
     #: individual queries of a fused batch exactly.
     supports_step_counts = True
+    #: Optional fused push+walk capability (:mod:`repro.engine.fused`):
+    #: residue-distribution start sampling and the walk batch run as one
+    #: pass, with no per-query Python re-entry.
+    supports_fused = True
 
     def walk_batch(
         self,
@@ -246,3 +250,42 @@ class VectorizedBackend:
             graph, current, alpha, rng,
             counters=counters, step_counts=step_counts,
         )
+
+    def fused_push_walk(
+        self,
+        graph: Graph,
+        group,
+        rng: np.random.Generator,
+        *,
+        want_steps: bool = False,
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        """Sample every walk's start from its query's residue distribution
+        and run the walk batch, in one call.
+
+        The start pass is a single ``searchsorted`` over the group's
+        offset-concatenated CDF (:func:`repro.engine.fused.sample_fused_starts`);
+        the walk pass reuses the validated in-place kernels.  Byte contract:
+        drawing the starts with ``sample_fused_starts`` and then calling the
+        corresponding ``*_walk_batch`` method on the same generator produces
+        identical endpoints — the two-pass equivalence the parity suite pins.
+        """
+        from repro.engine.fused import sample_fused_starts
+
+        current, hops = sample_fused_starts(group, rng)
+        step_counts = (
+            np.zeros(group.total_walks, dtype=np.int64) if want_steps else None
+        )
+        if group.kind == "heat":
+            ends = walk_batch_validated(
+                graph, current, hops, group.weights, rng, step_counts=step_counts
+            )
+        elif group.kind == "poisson":
+            ends = poisson_walk_batch_validated(
+                graph, current, group.weights, rng,
+                max_length=group.max_length, step_counts=step_counts,
+            )
+        else:
+            ends = geometric_walk_batch_validated(
+                graph, current, group.alpha, rng, step_counts=step_counts
+            )
+        return ends, step_counts

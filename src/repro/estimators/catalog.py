@@ -216,6 +216,7 @@ register(EstimatorSpec(
     aliases=("mc", "monte-carlo-hkpr"),
     params=hkpr_base_params() + (_NUM_WALKS,),
     fusible=True,
+    fused_sampling=True,
     backend_aware=True,
     estimate_fn=monte_carlo_hkpr,
     plan_fn=_plan_monte_carlo,
@@ -316,6 +317,7 @@ register(EstimatorSpec(
         _MAX_HOP,
     ),
     fusible=True,
+    fused_sampling=True,
     backend_aware=True,
     estimate_fn=tea_plus,
     plan_fn=_plan_tea_plus,
@@ -364,6 +366,7 @@ register(EstimatorSpec(
         _MAX_WALKS,
     ),
     fusible=True,
+    fused_sampling=True,
     backend_aware=True,
     estimate_fn=fora,
     plan_fn=_plan_fora,
@@ -383,6 +386,7 @@ register(EstimatorSpec(
                   doc="number of restart walks"),
     ),
     fusible=True,
+    fused_sampling=True,
     backend_aware=True,
     estimate_fn=monte_carlo_ppr,
     plan_fn=_plan_mc_ppr,

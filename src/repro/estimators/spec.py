@@ -172,6 +172,11 @@ class EstimatorSpec:
     #: Walk phase decomposes into :class:`repro.engine.multi.WalkTask`\ s
     #: that the micro-batcher may fuse across queries.
     fusible: bool = False
+    #: Serving plans expose ``fused_queries()`` — the walk phase can run as
+    #: a one-pass fused push+walk kernel (:mod:`repro.engine.fused`) on
+    #: backends advertising ``supports_fused``, sampling each walk's start
+    #: from the residue distribution inside the kernel.
+    fused_sampling: bool = False
     #: Result is a pure function of the request (no randomness), so even
     #: rng-pinned service requests are cache-eligible.
     deterministic: bool = False
@@ -446,6 +451,7 @@ class EstimatorSpec:
             "doc": self.doc,
             "aliases": list(self.aliases),
             "fusible": self.fusible,
+            "fused_sampling": self.fused_sampling,
             "deterministic": self.deterministic,
             "sweepable": self.sweepable,
             "servable": self.servable,

@@ -1,5 +1,6 @@
 """Graph substrate: CSR-backed undirected graphs, IO, and synthetic generators."""
 
+from repro.graph.binfmt import read_graph_binary, sniff, write_graph_binary
 from repro.graph.communities import CommunitySet, planted_partition_with_communities
 from repro.graph.graph import Graph
 from repro.graph.io import (
@@ -28,6 +29,9 @@ __all__ = [
     "load_edge_list",
     "planted_partition_with_communities",
     "random_connected_subgraph",
+    "read_graph_binary",
+    "sniff",
+    "write_graph_binary",
     "sample_density_stratified_seeds",
     "save_edge_list",
     "subgraph_density",

@@ -53,7 +53,7 @@ class Graph:
     2
     """
 
-    __slots__ = ("_indptr", "_indices", "_degrees", "_n", "_m")
+    __slots__ = ("_indptr", "_indices", "_degrees", "_n", "_m", "_backing")
 
     def __init__(self, n: int, edges: Iterable[Edge], *, dedupe: bool = False) -> None:
         if n < 0:
@@ -116,6 +116,7 @@ class Graph:
         self._indptr = indptr
         self._indices = indices
         self._degrees = degrees
+        self._backing = None
 
     # ------------------------------------------------------------------ #
     # Basic properties
@@ -141,6 +142,29 @@ class Graph:
     def total_volume(self) -> int:
         """Sum of all degrees, ``2m``."""
         return 2 * self._m
+
+    @property
+    def backing(self) -> dict | None:
+        """Storage metadata for graphs loaded from an ``.rcsr`` container.
+
+        ``None`` for graphs built in memory.  For binary loads this is a
+        dict with ``kind`` (``"mmap"`` or ``"binary"``), the source
+        ``path`` and the byte ``offsets`` of each CSR section — enough for
+        a worker process to re-map the same file instead of receiving a
+        copy of the arrays.
+        """
+        return getattr(self, "_backing", None)
+
+    @property
+    def csr_nbytes(self) -> int:
+        """Bytes held by the CSR arrays (indptr + indices + degrees).
+
+        For mmap-backed graphs this is the mapped extent, not resident
+        memory — pages materialize lazily as walks touch them.
+        """
+        return (
+            self._indptr.nbytes + self._indices.nbytes + self._degrees.nbytes
+        )
 
     @property
     def degrees(self) -> np.ndarray:
@@ -355,3 +379,72 @@ class Graph:
             return cls(0, [])
         n = max(max(u, v) for u, v in edge_list) + 1
         return cls(n, edge_list, dedupe=dedupe)
+
+    # ------------------------------------------------------------------ #
+    # Binary (.rcsr) round trip
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_csr_arrays(
+        cls,
+        n: int,
+        m: int,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        degrees: np.ndarray,
+        *,
+        backing: dict | None = None,
+    ) -> "Graph":
+        """Adopt pre-built CSR arrays without re-deriving them from edges.
+
+        This is the trusted fast path used by the ``.rcsr`` reader: the
+        arrays are taken as-is (possibly read-only memmap views — they are
+        never mutated after construction), and only O(1) structural
+        invariants are checked.  Full per-edge validation happened when the
+        graph was originally built; the container's header CRC guards
+        against bit rot in transit.
+        """
+        n, m = int(n), int(m)
+        if n < 0 or m < 0:
+            raise GraphError(f"invalid CSR dimensions n={n}, m={m}")
+        if indptr.shape != (n + 1,):
+            raise GraphError(
+                f"indptr has shape {indptr.shape}, expected ({n + 1},)"
+            )
+        if degrees.shape != (n,):
+            raise GraphError(f"degrees has shape {degrees.shape}, expected ({n},)")
+        if indices.shape != (2 * m,):
+            raise GraphError(
+                f"indices has shape {indices.shape}, expected ({2 * m},)"
+            )
+        if int(indptr[0]) != 0 or int(indptr[-1]) != 2 * m:
+            raise GraphError(
+                f"indptr endpoints ({int(indptr[0])}, {int(indptr[-1])}) "
+                f"do not bracket 2m={2 * m}"
+            )
+        graph = cls.__new__(cls)
+        graph._n = n
+        graph._m = m
+        graph._indptr = indptr
+        graph._indices = indices
+        graph._degrees = degrees
+        graph._backing = backing
+        return graph
+
+    def to_binary(self, path) -> "Path":  # noqa: F821 - Path via binfmt
+        """Write this graph as a versioned ``.rcsr`` binary container."""
+        from repro.graph.binfmt import write_graph_binary
+
+        return write_graph_binary(self, path)
+
+    @classmethod
+    def from_binary(cls, path, *, mmap: bool = True) -> "Graph":
+        """Load an ``.rcsr`` container, memory-mapped by default.
+
+        With ``mmap=True`` (the default) the CSR arrays are read-only
+        :func:`numpy.memmap` views: loading is O(header) regardless of
+        graph size, and concurrent processes share the pages through the
+        OS page cache.
+        """
+        from repro.graph.binfmt import read_graph_binary
+
+        return read_graph_binary(path, mmap=mmap)

@@ -33,6 +33,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.engine import Backend, chunk_sizes, execute_plans, get_backend
+from repro.engine.fused import FusedQuery
 from repro.engine.multi import WalkTask
 from repro.exceptions import ParameterError
 from repro.graph.graph import Graph
@@ -77,20 +78,44 @@ class MonteCarloPlan:
         self.counters = OperationCounters()
         self._weights = weights if weights is not None else PoissonWeights(params.t)
         self._increment = 1.0 / walks
+        self._num_walks = walks
         self._started = time.perf_counter()
-        self.tasks = [
-            WalkTask(
+        self._tasks: list[WalkTask] | None = None
+
+    @property
+    def tasks(self) -> list[WalkTask]:
+        """Chunked Poisson walk tasks, materialized on first access.
+
+        Laziness matters: the fused route (:meth:`fused_queries`) never
+        touches the per-chunk start arrays, so it must not pay for them.
+        """
+        if self._tasks is None:
+            self._tasks = [
+                WalkTask(
+                    "poisson",
+                    np.full(batch, self.seed_node, dtype=np.int64),
+                    weights=self._weights,
+                )
+                for batch in chunk_sizes(self._num_walks)
+            ]
+        return self._tasks
+
+    def fused_queries(self) -> list[FusedQuery]:
+        """Fused form: all walks start at the seed (one unit-weight entry)."""
+        return [
+            FusedQuery(
                 "poisson",
-                np.full(batch, self.seed_node, dtype=np.int64),
+                [self.seed_node],
+                [1.0],
+                self._num_walks,
                 weights=self._weights,
             )
-            for batch in chunk_sizes(walks)
         ]
 
     @property
     def estimated_walks(self) -> int:
         """Walks this query will run (admission-control estimate)."""
-        return sum(task.num_walks for task in self.tasks)
+        return self._num_walks
 
     def finalize(self, endpoints: Sequence[np.ndarray]) -> HKPRResult:
         estimates = SparseVector()
@@ -109,11 +134,13 @@ class MonteCarloPlan:
 class TeaPlusPlan:
     """Plan form of :func:`repro.hkpr.tea_plus.tea_plus` (Algorithm 5).
 
-    HK-Push+, the Theorem-2 early-exit test, the §5.2 residue reduction and
-    the alias sampling of walk starts all run at construction time (they are
-    deterministic given the sampling ``rng``); only the hop-conditioned
-    walks themselves are deferred into fusible tasks.  An early exit leaves
-    ``tasks`` empty, making the plan free to "execute".
+    HK-Push+, the Theorem-2 early-exit test and the §5.2 residue reduction
+    run at construction time; the surviving residue entries are kept as the
+    walk-start *distribution*.  The unfused route materializes alias-sampled
+    :class:`WalkTask`\\ s lazily on first ``tasks`` access (drawing from the
+    construction ``rng``); the fused route (:meth:`fused_queries`) hands the
+    distribution itself to the kernel, which samples every start in-pass.
+    An early exit leaves both empty, making the plan free to "execute".
     """
 
     method = "tea+"
@@ -159,7 +186,12 @@ class TeaPlusPlan:
         )
         self._estimates = push_outcome.reserve
         residues = push_outcome.residues
-        self.tasks: list[WalkTask] = []
+        self._tasks: list[WalkTask] | None = None
+        self._generator = generator
+        self._num_walks = 0
+        self._start_nodes: np.ndarray | None = None
+        self._start_hops: np.ndarray | None = None
+        self._start_values: np.ndarray | None = None
         self._increment = 0.0
 
         if residues.max_normalized_sum(graph) <= params.absolute_error_target():
@@ -190,29 +222,67 @@ class TeaPlusPlan:
         if num_walks <= 0:
             return
 
-        start_nodes = np.fromiter(
+        self._start_nodes = np.fromiter(
             (node for _, node, _ in entries), np.int64, count=len(entries)
         )
-        start_hops = np.fromiter(
+        self._start_hops = np.fromiter(
             (hop for hop, _, _ in entries), np.int64, count=len(entries)
         )
-        sampler = AliasSampler(start_nodes, [value for _, _, value in entries])
+        self._start_values = np.fromiter(
+            (value for _, _, value in entries), np.float64, count=len(entries)
+        )
+        self._num_walks = num_walks
         self._increment = alpha / num_walks
-        for batch in chunk_sizes(num_walks):
-            picks = sampler.sample_indices(batch, generator)
-            self.tasks.append(
-                WalkTask(
-                    "heat",
-                    start_nodes[picks],
-                    hop_offsets=start_hops[picks],
-                    weights=self._weights,
-                )
+
+    @property
+    def tasks(self) -> list[WalkTask]:
+        """Alias-sampled walk tasks, materialized on first access.
+
+        Sampling draws from the plan's construction generator, so for the
+        shared-generator entry points the draw order is identical to eager
+        construction (push phases consume nothing from the stream).  The
+        fused route never touches this — start sampling happens inside the
+        kernel instead.
+        """
+        if self._tasks is None:
+            tasks: list[WalkTask] = []
+            if self._num_walks:
+                sampler = AliasSampler(self._start_nodes, self._start_values)
+                for batch in chunk_sizes(self._num_walks):
+                    picks = sampler.sample_indices(batch, self._generator)
+                    tasks.append(
+                        WalkTask(
+                            "heat",
+                            self._start_nodes[picks],
+                            hop_offsets=self._start_hops[picks],
+                            weights=self._weights,
+                        )
+                    )
+            self._tasks = tasks
+        return self._tasks
+
+    def fused_queries(self) -> list[FusedQuery]:
+        """Fused form: the residue entries *are* the start distribution.
+
+        Empty after a Theorem-2 early exit (the plan is free to execute).
+        """
+        if not self._num_walks:
+            return []
+        return [
+            FusedQuery(
+                "heat",
+                self._start_nodes,
+                self._start_values,
+                self._num_walks,
+                entry_hops=self._start_hops,
+                weights=self._weights,
             )
+        ]
 
     @property
     def estimated_walks(self) -> int:
         """Walks this query will run (zero after a Theorem-2 early exit)."""
-        return sum(task.num_walks for task in self.tasks)
+        return self._num_walks
 
     def finalize(self, endpoints: Sequence[np.ndarray]) -> HKPRResult:
         for ends in endpoints:

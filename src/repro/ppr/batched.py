@@ -17,6 +17,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.engine import Backend, chunk_sizes, execute_plans, get_backend
+from repro.engine.fused import FusedQuery
 from repro.engine.multi import WalkTask
 from repro.exceptions import ParameterError
 from repro.graph.graph import Graph
@@ -53,20 +54,41 @@ class MonteCarloPPRPlan:
         self.seed_node = int(seed_node)
         self.counters = OperationCounters()
         self._increment = 1.0 / num_walks
+        self._num_walks = int(num_walks)
+        self._alpha = float(alpha)
         self._started = time.perf_counter()
-        self.tasks = [
-            WalkTask(
+        self._tasks: list[WalkTask] | None = None
+
+    @property
+    def tasks(self) -> list[WalkTask]:
+        """Chunked geometric walk tasks, materialized on first access."""
+        if self._tasks is None:
+            self._tasks = [
+                WalkTask(
+                    "geometric",
+                    np.full(batch, self.seed_node, dtype=np.int64),
+                    alpha=self._alpha,
+                )
+                for batch in chunk_sizes(self._num_walks)
+            ]
+        return self._tasks
+
+    def fused_queries(self) -> list[FusedQuery]:
+        """Fused form: all walks start at the seed (one unit-weight entry)."""
+        return [
+            FusedQuery(
                 "geometric",
-                np.full(batch, self.seed_node, dtype=np.int64),
-                alpha=alpha,
+                [self.seed_node],
+                [1.0],
+                self._num_walks,
+                alpha=self._alpha,
             )
-            for batch in chunk_sizes(num_walks)
         ]
 
     @property
     def estimated_walks(self) -> int:
         """Walks this query will run (admission-control estimate)."""
-        return sum(task.num_walks for task in self.tasks)
+        return self._num_walks
 
     def finalize(self, endpoints: Sequence[np.ndarray]) -> HKPRResult:
         estimates = SparseVector()
@@ -127,7 +149,12 @@ class ForaPlan:
         )
         self._estimates = push_outcome.reserve
         residue = push_outcome.residue
-        self.tasks: list[WalkTask] = []
+        self._tasks: list[WalkTask] | None = None
+        self._generator = generator
+        self._alpha = float(alpha)
+        self._num_walks = 0
+        self._start_nodes: np.ndarray | None = None
+        self._start_values: np.ndarray | None = None
         self._increment = 0.0
 
         residual_mass = residue.sum()
@@ -140,21 +167,53 @@ class ForaPlan:
         if num_walks <= 0:
             return
         entries = list(residue.items())
-        start_nodes = np.fromiter(
+        self._start_nodes = np.fromiter(
             (node for node, _ in entries), np.int64, count=len(entries)
         )
-        sampler = AliasSampler(start_nodes, [v for _, v in entries])
+        self._start_values = np.fromiter(
+            (value for _, value in entries), np.float64, count=len(entries)
+        )
+        self._num_walks = num_walks
         self._increment = residual_mass / num_walks
-        for batch in chunk_sizes(num_walks):
-            picks = sampler.sample_indices(batch, generator)
-            self.tasks.append(
-                WalkTask("geometric", start_nodes[picks], alpha=alpha)
+
+    @property
+    def tasks(self) -> list[WalkTask]:
+        """Alias-sampled geometric walk tasks, materialized on first access
+        (drawing from the construction ``rng``; see
+        :class:`repro.hkpr.batched.TeaPlusPlan` for the laziness contract)."""
+        if self._tasks is None:
+            tasks: list[WalkTask] = []
+            if self._num_walks:
+                sampler = AliasSampler(self._start_nodes, self._start_values)
+                for batch in chunk_sizes(self._num_walks):
+                    picks = sampler.sample_indices(batch, self._generator)
+                    tasks.append(
+                        WalkTask(
+                            "geometric", self._start_nodes[picks], alpha=self._alpha
+                        )
+                    )
+            self._tasks = tasks
+        return self._tasks
+
+    def fused_queries(self) -> list[FusedQuery]:
+        """Fused form: the forward-push residue is the start distribution
+        (empty when the push settled everything)."""
+        if not self._num_walks:
+            return []
+        return [
+            FusedQuery(
+                "geometric",
+                self._start_nodes,
+                self._start_values,
+                self._num_walks,
+                alpha=self._alpha,
             )
+        ]
 
     @property
     def estimated_walks(self) -> int:
         """Walks this query will run (zero when the push settled everything)."""
-        return sum(task.num_walks for task in self.tasks)
+        return self._num_walks
 
     def finalize(self, endpoints: Sequence[np.ndarray]) -> HKPRResult:
         for ends in endpoints:

@@ -23,12 +23,14 @@ started on a synthetic graph from the command line without writing files.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.bench.datasets import DATASETS, load_dataset
 from repro.exceptions import ServiceError
 from repro.graph import generators
+from repro.graph.binfmt import read_graph_binary, sniff
 from repro.graph.graph import Graph
 from repro.graph.io import load_edge_list
 from repro.hkpr.poisson import PoissonWeights
@@ -115,6 +117,13 @@ class GraphEntry:
     name: str
     graph: Graph
     source: str
+    #: How the CSR arrays are held: ``in-memory`` (built by the caller),
+    #: ``generated``, ``edge-list`` (parsed from text), ``binary`` (.rcsr
+    #: read eagerly) or ``mmap`` (.rcsr memory-mapped — resident bytes are
+    #: page-cache pages shared with other processes).
+    storage: str = "in-memory"
+    #: Wall-clock seconds spent building / loading the graph.
+    load_seconds: float = 0.0
     _weights: dict[float, PoissonWeights] = field(default_factory=dict)
 
     def poisson_weights(self, t: float) -> PoissonWeights:
@@ -129,6 +138,9 @@ class GraphEntry:
         return {
             "name": self.name,
             "source": self.source,
+            "storage": self.storage,
+            "load_seconds": round(self.load_seconds, 6),
+            "csr_bytes": self.graph.csr_nbytes,
             "num_nodes": self.graph.num_nodes,
             "num_edges": self.graph.num_edges,
             "average_degree": round(self.graph.average_degree, 3)
@@ -151,9 +163,23 @@ class GraphRegistry:
         self._entries: dict[str, GraphEntry] = {}
         self._lock = threading.Lock()
 
-    def add_graph(self, name: str, graph: Graph, *, source: str = "in-memory") -> GraphEntry:
+    def add_graph(
+        self,
+        name: str,
+        graph: Graph,
+        *,
+        source: str = "in-memory",
+        storage: str = "in-memory",
+        load_seconds: float = 0.0,
+    ) -> GraphEntry:
         """Register an already-built graph under ``name`` (overwrites)."""
-        entry = GraphEntry(name=name, graph=graph, source=source)
+        entry = GraphEntry(
+            name=name,
+            graph=graph,
+            source=source,
+            storage=storage,
+            load_seconds=load_seconds,
+        )
         with self._lock:
             self._entries[name] = entry
         return entry
@@ -164,22 +190,61 @@ class GraphRegistry:
             raise ServiceError(
                 f"unknown dataset {dataset!r}; expected one of {sorted(DATASETS)}"
             )
+        started = time.perf_counter()
+        graph = load_dataset(dataset)
         return self.add_graph(
-            name or dataset, load_dataset(dataset), source=f"dataset:{dataset}"
+            name or dataset,
+            graph,
+            source=f"dataset:{dataset}",
+            storage="generated",
+            load_seconds=time.perf_counter() - started,
         )
 
     def add_edge_list(self, path: str | Path, *, name: str | None = None) -> GraphEntry:
-        """Register a graph loaded from a whitespace-separated edge list."""
+        """Register a graph loaded from a whitespace-separated edge list.
+
+        ``.rcsr`` containers are detected by their magic bytes and routed
+        to :meth:`add_binary` (memory-mapped), so callers can point any
+        graph-path option at either format.
+        """
         path = Path(path)
+        if sniff(path):
+            return self.add_binary(path, name=name)
+        started = time.perf_counter()
         graph, _ = load_edge_list(path)
         return self.add_graph(
-            name or path.stem, graph, source=f"edge-list:{path}"
+            name or path.stem,
+            graph,
+            source=f"edge-list:{path}",
+            storage="edge-list",
+            load_seconds=time.perf_counter() - started,
+        )
+
+    def add_binary(
+        self, path: str | Path, *, name: str | None = None, mmap: bool = True
+    ) -> GraphEntry:
+        """Register an ``.rcsr`` binary CSR graph (memory-mapped by default)."""
+        path = Path(path)
+        started = time.perf_counter()
+        graph = read_graph_binary(path, mmap=mmap)
+        return self.add_graph(
+            name or path.stem,
+            graph,
+            source=f"binary:{path}",
+            storage="mmap" if mmap else "binary",
+            load_seconds=time.perf_counter() - started,
         )
 
     def add_generated(self, spec: str, *, name: str | None = None) -> GraphEntry:
         """Register a graph built from a generator spec string."""
+        started = time.perf_counter()
+        graph = build_from_spec(spec)
         return self.add_graph(
-            name or spec, build_from_spec(spec), source=f"generated:{spec}"
+            name or spec,
+            graph,
+            source=f"generated:{spec}",
+            storage="generated",
+            load_seconds=time.perf_counter() - started,
         )
 
     def get(self, name: str) -> GraphEntry:

@@ -338,6 +338,14 @@ class QueryService:
             snapshot["inflight_walks"] = self._inflight_walks
         snapshot["backend"] = self._backend.name
         snapshot["graphs"] = self.registry.names()
+        snapshot["graph_storage"] = {
+            info["name"]: {
+                "storage": info["storage"],
+                "load_seconds": info["load_seconds"],
+                "csr_bytes": info["csr_bytes"],
+            }
+            for info in self.registry.describe()
+        }
         return snapshot
 
     # -------------------------------------------------------------- #

@@ -21,7 +21,9 @@ Three layers:
   :func:`repro.ppr.exact.exact_ppr` as ground truth, so the harness and the
   estimators cannot share a bug.
 * **Checks** — kernel-level distribution checks
-  (:func:`check_kernel_distributions`), estimator-level walk-phase checks
+  (:func:`check_kernel_distributions`), fused push+walk kernel checks for
+  backends advertising ``supports_fused``
+  (:func:`check_fused_distributions`), estimator-level walk-phase checks
   for TEA / TEA+ / Monte-Carlo HKPR / FORA
   (:func:`check_estimator_walk_parity`), and the deterministic parts of the
   contract: counter accounting (:func:`check_counter_accounting`) and shape
@@ -287,6 +289,117 @@ def check_kernel_distributions(
     ).assert_ok(
         significance=significance, context=f"{backend.name}: geometric_walk_batch"
     )
+    return results
+
+
+# ---------------------------------------------------------------------- #
+# Fused push+walk kernel checks (backends advertising supports_fused)
+# ---------------------------------------------------------------------- #
+def fused_mixture_law(
+    graph: Graph,
+    kind: str,
+    entry_nodes,
+    entry_weights,
+    *,
+    entry_hops=None,
+    weights: PoissonWeights | None = None,
+    alpha: float = 0.2,
+    max_length: int | None = None,
+) -> np.ndarray:
+    """Exact endpoint law of one fused query: the residue-weighted mixture.
+
+    A fused query samples each walk's start from its (normalized) entry
+    distribution and then runs the ordinary walk primitive, so the exact
+    endpoint law is the convex mixture of the per-entry laws — computed
+    here from the same dense iterations the per-kernel checks use.
+    """
+    entry_nodes = np.asarray(entry_nodes, dtype=np.int64)
+    entry_weights = np.asarray(entry_weights, dtype=np.float64)
+    probs = entry_weights / entry_weights.sum()
+    law = np.zeros(graph.num_nodes)
+    for index, (node, p) in enumerate(zip(entry_nodes, probs)):
+        if kind == "heat":
+            hop = int(entry_hops[index])
+            law += p * hop_conditioned_probs(graph, int(node), hop, weights)
+        elif kind == "poisson":
+            law += p * poisson_probs(
+                graph, int(node), weights, max_length=max_length
+            )
+        elif kind == "geometric":
+            law += p * geometric_probs(graph, int(node), alpha)
+        else:
+            raise ValueError(f"unknown fused kind {kind!r}")
+    return law
+
+
+def check_fused_distributions(
+    backend,
+    graph: Graph,
+    *,
+    weights: PoissonWeights | None = None,
+    restart_alpha: float = 0.2,
+    num_walks: int = 12_000,
+    seed: int = 2025,
+    significance: float = DEFAULT_SIGNIFICANCE,
+) -> dict[str, ChiSquareResult]:
+    """Chi-square every fused kernel of ``backend`` against its mixture law.
+
+    Two queries per kind are submitted in one :func:`run_fused_queries`
+    call (one multi-entry, one single-entry), so in-kernel start sampling,
+    the per-query offset-CDF segmentation and endpoint splitting are all
+    on the tested path.  Requires ``supports_fused(backend)``.
+    """
+    from repro.engine.fused import FusedQuery, run_fused_queries
+
+    if weights is None:
+        weights = PoissonWeights(5.0)
+    n = graph.num_nodes
+    rng = np.random.default_rng(seed)
+    # A lopsided multi-entry residue distribution over distinct nodes.
+    entry_nodes = np.array([0, 1 % n, 2 % n], dtype=np.int64)
+    entry_weights = np.array([0.6, 0.3, 0.1])
+    entry_hops = np.array([0, 2, 1], dtype=np.int64)
+
+    cases = {
+        "heat": dict(weights=weights, entry_hops=entry_hops),
+        "poisson": dict(weights=weights),
+        "geometric": dict(alpha=restart_alpha),
+    }
+    results: dict[str, ChiSquareResult] = {}
+    for kind, kwargs in cases.items():
+        queries = [
+            FusedQuery(kind, entry_nodes, entry_weights, num_walks, **kwargs),
+            FusedQuery(
+                kind,
+                [int(entry_nodes[0])],
+                [1.0],
+                num_walks,
+                **{
+                    key: (value[:1] if key == "entry_hops" else value)
+                    for key, value in kwargs.items()
+                },
+            ),
+        ]
+        endpoints = run_fused_queries(backend, graph, queries, rng)
+        laws = [
+            fused_mixture_law(graph, kind, entry_nodes, entry_weights, **kwargs),
+            fused_mixture_law(
+                graph, kind, entry_nodes[:1], entry_weights[:1],
+                **{
+                    key: (value[:1] if key == "entry_hops" else value)
+                    for key, value in kwargs.items()
+                },
+            ),
+        ]
+        for which, (ends, law) in enumerate(zip(endpoints, laws)):
+            assert ends.size == num_walks
+            label = "multi" if which == 0 else "single"
+            results[f"fused_{kind}[{label}]"] = chi_square_gof(
+                endpoint_counts(ends, n), law
+            ).assert_ok(
+                significance=significance,
+                context=f"{getattr(backend, 'name', backend)}: fused {kind} ({label})",
+            )
     return results
 
 

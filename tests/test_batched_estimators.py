@@ -28,7 +28,8 @@ class TestMonteCarloMany:
             assert result.method == "monte-carlo"
             assert result.counters.random_walks == 400
             assert abs(result.total_mass(tiny_grid) - 1.0) < 1e-9
-            assert result.counters.extras["fused_tasks"] == 3
+            assert result.counters.extras["fused_queries"] == 3
+            assert result.counters.extras["fused_kernel"] is True
             assert result.counters.extras["backend"]
 
     def test_reproducible_for_fixed_rng(self, tiny_grid, loose_params):

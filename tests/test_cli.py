@@ -325,6 +325,57 @@ class TestServeCommand:
         assert "ring" in service.registry
 
 
+
+class TestGraphCommand:
+    def test_pack_and_info_edge_list(self, tmp_path, capsys):
+        path = tmp_path / "ring.txt"
+        save_edge_list(ring_graph(10), path)
+        out = tmp_path / "ring.rcsr"
+        assert main(["graph", "pack", "--edge-list", str(path), "-o", str(out)]) == 0
+        output = capsys.readouterr().out
+        assert "packed" in output and "10 / 10" in output
+        assert out.exists()
+        assert main(["graph", "info", str(out)]) == 0
+        info = capsys.readouterr().out
+        assert "nodes / edges   : 10 / 10" in info
+        assert "indptr@" in info
+
+    def test_pack_from_generator_spec(self, tmp_path, capsys):
+        out = tmp_path / "grid.rcsr"
+        assert main(["graph", "pack", "--generate", "grid3d,side=3", "-o", str(out)]) == 0
+        assert "27" in capsys.readouterr().out
+
+    def test_pack_requires_exactly_one_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["graph", "pack", "-o", "x.rcsr"])
+
+    def test_info_rejects_non_rcsr(self, tmp_path, capsys):
+        path = tmp_path / "plain.txt"
+        path.write_text("0 1\n")
+        assert main(["graph", "info", str(path)]) == 2
+        assert "not an .rcsr graph" in capsys.readouterr().err
+
+    def test_serve_binary_source(self, tmp_path):
+        from repro.cli import build_service_from_args
+
+        path = tmp_path / "ring.txt"
+        save_edge_list(ring_graph(12), path)
+        out = tmp_path / "ring.rcsr"
+        assert main(["graph", "pack", "--edge-list", str(path), "-o", str(out)]) == 0
+        args = build_parser().parse_args(
+            ["serve", "--binary", str(out), "--graph-name", "packed"]
+        )
+        service = build_service_from_args(args)
+        try:
+            entry = service.registry.get("packed")
+            assert entry.storage == "mmap"
+            with service:
+                response = service.query("packed", "monte-carlo", 0, {"num_walks": 40})
+                assert response.result.counters.random_walks == 40
+        finally:
+            service.stop()
+
+
 class TestClusterBackendSelection:
     def _cluster_args(self, *extra):
         return [

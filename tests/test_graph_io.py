@@ -139,3 +139,45 @@ class TestNetworkXConversion:
         nx_graph = to_networkx(g)
         assert nx_graph.number_of_nodes() == 4
         assert nx_graph.number_of_edges() == 1
+
+
+class TestStreamingLoader:
+    """The chunked edge-list reader (:data:`repro.graph.io._CHUNK_LINES`)."""
+
+    def test_first_seen_label_order(self, tmp_path):
+        path = tmp_path / "order.txt"
+        path.write_text("10 20\n5 10\n20 5\n")
+        _, labels = load_edge_list(path)
+        assert labels == {10: 0, 20: 1, 5: 2}
+
+    def test_chunk_boundary_invariance(self, tmp_path, monkeypatch):
+        """Results do not depend on where chunk boundaries fall."""
+        import repro.graph.io as io_module
+
+        rng = np.random.default_rng(9)
+        edges = rng.integers(0, 40, size=(300, 2))
+        path = tmp_path / "chunky.txt"
+        with path.open("w") as handle:
+            for u, v in edges:
+                handle.write(f"{u} {v}\n")
+        big_graph, big_labels = load_edge_list(path)
+        monkeypatch.setattr(io_module, "_CHUNK_LINES", 7)
+        small_graph, small_labels = load_edge_list(path)
+        assert big_labels == small_labels
+        np.testing.assert_array_equal(big_graph.indptr, small_graph.indptr)
+        np.testing.assert_array_equal(big_graph.indices, small_graph.indices)
+
+    def test_error_line_numbers_cross_chunks(self, tmp_path, monkeypatch):
+        import repro.graph.io as io_module
+
+        monkeypatch.setattr(io_module, "_CHUNK_LINES", 4)
+        path = tmp_path / "bad.txt"
+        path.write_text("\n".join(["1 2"] * 9 + ["oops"]) + "\n")
+        with pytest.raises(GraphError, match=r"bad\.txt:10"):
+            load_edge_list(path)
+
+    def test_rejects_labels_beyond_int64(self, tmp_path):
+        path = tmp_path / "huge.txt"
+        path.write_text(f"1 {2**70}\n")
+        with pytest.raises(GraphError, match="64-bit"):
+            load_edge_list(path)
