@@ -19,23 +19,32 @@ from repro.exceptions import ParameterError
 from repro.graph.graph import Graph
 from repro.hkpr.result import HKPRResult
 from repro.utils.counters import OperationCounters
+from repro.utils.deadline import Deadline
 from repro.utils.sparsevec import SparseVector
 
 
 def lazy_walk_step(
-    graph: Graph, distribution: SparseVector, truncation: float
+    graph: Graph,
+    distribution: SparseVector,
+    truncation: float,
+    *,
+    deadline: Deadline | None = None,
 ) -> tuple[SparseVector, int]:
     """One truncated lazy-walk step ``q <- trunc(q W)``; returns (q', work).
 
     Applies ``W = (I + D^{-1} A) / 2`` to ``distribution`` and zeroes
     entries whose degree-normalized value falls below ``truncation`` (unless
     that would empty the vector, in which case the un-truncated update is
-    kept).  Shared by :func:`nibble` and :func:`nibble_hkpr`.
+    kept).  Shared by :func:`nibble` and :func:`nibble_hkpr`.  An optional
+    ``deadline`` is checked once per source node with the node's degree as
+    the cost.
     """
     updated = SparseVector()
     work = 0
     for node, mass in distribution.items():
         degree = graph.degree(node)
+        if deadline is not None:
+            deadline.check(max(degree, 1))
         # Lazy walk: keep half, spread half over the neighbors.
         updated.add(node, mass / 2.0)
         if degree > 0:
@@ -117,6 +126,7 @@ def nibble_hkpr(
     *,
     steps: int = 20,
     truncation: float = 1e-5,
+    deadline: Deadline | None = None,
 ) -> HKPRResult:
     """Nibble's diffusion vector in the unified estimator envelope.
 
@@ -136,8 +146,12 @@ def nibble_hkpr(
     start = time.perf_counter()
     distribution = SparseVector({seed_node: 1.0})
     counters = OperationCounters()
+    if deadline is not None:
+        deadline.bind(counters)
     for _ in range(steps):
-        distribution, work = lazy_walk_step(graph, distribution, truncation)
+        distribution, work = lazy_walk_step(
+            graph, distribution, truncation, deadline=deadline
+        )
         counters.record_pushes(work)
     counters.extras["steps"] = float(steps)
     counters.reserve_entries = distribution.nnz()

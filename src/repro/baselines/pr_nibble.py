@@ -23,6 +23,7 @@ from repro.exceptions import ParameterError
 from repro.graph.graph import Graph
 from repro.hkpr.result import HKPRResult
 from repro.utils.counters import OperationCounters
+from repro.utils.deadline import Deadline
 from repro.utils.sparsevec import SparseVector
 
 
@@ -32,8 +33,16 @@ def approximate_ppr(
     *,
     alpha: float = 0.15,
     eps: float = 1e-4,
+    counters: OperationCounters | None = None,
+    deadline: Deadline | None = None,
 ) -> tuple[SparseVector, SparseVector, int]:
-    """Andersen–Chung–Lang push: returns (reserve, residual, pushes)."""
+    """Andersen–Chung–Lang push: returns (reserve, residual, pushes).
+
+    When ``counters`` is given, push operations are recorded on it round by
+    round (so partial work is visible if a ``deadline`` trips mid-run); the
+    optional ``deadline`` is checked once per push round with the node's
+    degree as the cost.
+    """
     if not graph.has_node(seed):
         raise ParameterError(f"seed node {seed} is not in the graph")
     if not 0.0 < alpha < 1.0:
@@ -41,6 +50,8 @@ def approximate_ppr(
     if eps <= 0.0:
         raise ParameterError(f"eps must be positive, got {eps}")
 
+    if deadline is not None and counters is not None:
+        deadline.bind(counters)
     reserve = SparseVector()
     residual = SparseVector({seed: 1.0})
     frontier: deque[int] = deque([seed])
@@ -59,6 +70,8 @@ def approximate_ppr(
             continue
         if value < eps * degree:
             continue
+        if deadline is not None:
+            deadline.check(degree)
 
         reserve.add(node, alpha * value)
         residual[node] = (1.0 - alpha) * value / 2.0
@@ -73,6 +86,8 @@ def approximate_ppr(
         if node not in queued and residual[node] >= eps * degree:
             frontier.append(node)
             queued.add(node)
+        if counters is not None:
+            counters.record_pushes(degree)
     return reserve, residual, pushes
 
 
@@ -111,6 +126,7 @@ def pr_nibble_hkpr(
     *,
     alpha: float = 0.15,
     eps: float = 1e-4,
+    deadline: Deadline | None = None,
 ) -> HKPRResult:
     """PR-Nibble's approximate PPR vector in the unified estimator envelope.
 
@@ -120,9 +136,10 @@ def pr_nibble_hkpr(
     exactly :func:`pr_nibble`'s cluster (both order by ``p[v]/d(v)``).
     """
     start = time.perf_counter()
-    reserve, residual, pushes = approximate_ppr(graph, seed_node, alpha=alpha, eps=eps)
     counters = OperationCounters()
-    counters.record_pushes(pushes)
+    reserve, residual, pushes = approximate_ppr(
+        graph, seed_node, alpha=alpha, eps=eps, counters=counters, deadline=deadline
+    )
     # Unsettled push mass; named to avoid colliding with the method's own
     # ``alpha`` (teleport probability) parameter in telemetry.
     counters.extras["residual_mass"] = residual.sum()

@@ -211,6 +211,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-ttl", type=float, default=None,
         help="result cache TTL in seconds (default: no expiry)",
     )
+    serve.add_argument(
+        "--default-timeout-ms", type=float, default=60_000.0,
+        help="per-query deadline applied when a request carries no "
+        "timeout_ms of its own; <= 0 disables the default (default 60000)",
+    )
     serve.add_argument("--rng", type=int, default=None, help="batch RNG seed")
 
     graph = subparsers.add_parser(
@@ -533,6 +538,10 @@ def build_service_from_args(args: argparse.Namespace):
         else:
             registry.add_generated(value, name=args.graph_name)
 
+    default_timeout_ms = getattr(args, "default_timeout_ms", None)
+    if default_timeout_ms is not None and default_timeout_ms <= 0:
+        default_timeout_ms = None  # <= 0 disables the service default
+
     return QueryService(
         registry,
         backend=args.backend,
@@ -542,6 +551,7 @@ def build_service_from_args(args: argparse.Namespace):
         max_inflight_walks=args.max_inflight_walks,
         cache_entries=args.cache_size,
         cache_ttl_seconds=args.cache_ttl,
+        default_timeout_ms=default_timeout_ms,
         rng=args.rng,
     )
 
@@ -572,6 +582,12 @@ def _run_serve(args: argparse.Namespace) -> int:
         + (f", ttl={args.cache_ttl}s" if args.cache_ttl else "")
     )
     print(f"result cache    : {cache}")
+    timeout = (
+        "disabled"
+        if service.default_timeout_ms is None
+        else f"{service.default_timeout_ms:g}ms"
+    )
+    print(f"default deadline: {timeout} (override per request with timeout_ms)")
     print(f"listening on    : http://{args.host}:{server.server_address[1]}")
     print("endpoints       : POST /query   GET /stats /graphs /methods /healthz")
     try:

@@ -46,6 +46,7 @@ import numpy as np
 from repro.engine import Backend, as_int_array, get_backend
 from repro.exceptions import ParameterError
 from repro.utils.counters import OperationCounters
+from repro.utils.deadline import Deadline
 
 if TYPE_CHECKING:
     from repro.graph.graph import Graph
@@ -323,6 +324,7 @@ def run_fused_queries(
     *,
     counters_list: Sequence[OperationCounters | None] | None = None,
     max_fused_walks: int | None = None,
+    deadline: Deadline | None = None,
 ) -> list[np.ndarray]:
     """Execute ``queries`` on ``graph`` through fused push+walk kernels.
 
@@ -331,6 +333,7 @@ def run_fused_queries(
     ``fused_push_walk`` kernel call per ≤``max_fused_walks``-walk
     sub-batch, and endpoints split back out per query, in order.  Counter
     attribution is exact — fused backends report per-walk step counts.
+    The optional ``deadline`` is checkpointed before every kernel call.
     """
     from repro import engine as engine_module
 
@@ -362,6 +365,8 @@ def run_fused_queries(
     for indices in groups.values():
         group_walks = sum(queries[i].num_walks for i in indices)
         for slices in _split_group(indices, queries, cap):
+            if deadline is not None:
+                deadline.checkpoint()
             batch_queries = [queries[i] for i, _ in slices]
             batch_counts = [count for _, count in slices]
             group = FusedGroup(graph, batch_queries, batch_counts)

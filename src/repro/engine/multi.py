@@ -42,6 +42,7 @@ import numpy as np
 from repro.engine import Backend, as_int_array, get_backend
 from repro.exceptions import ParameterError
 from repro.utils.counters import OperationCounters
+from repro.utils.deadline import Deadline
 
 if TYPE_CHECKING:
     from repro.graph.graph import Graph
@@ -223,6 +224,7 @@ def run_walk_tasks(
     *,
     counters_list: Sequence[OperationCounters | None] | None = None,
     max_fused_walks: int | None = None,
+    deadline: Deadline | None = None,
 ) -> list[np.ndarray]:
     """Execute ``tasks`` on ``graph``, fusing compatible tasks per kernel call.
 
@@ -239,6 +241,9 @@ def run_walk_tasks(
     Group order follows first appearance in ``tasks`` and tasks keep their
     relative order within a group, so for a fixed backend the result is a
     pure function of ``(rng state, task sequence, fusion cap)``.
+
+    The optional ``deadline`` is checkpointed before every kernel call, so a
+    timed-out query stops between sub-batches rather than mid-kernel.
     """
     from repro import engine as engine_module
 
@@ -257,6 +262,8 @@ def run_walk_tasks(
     results: list[np.ndarray | None] = [None] * len(tasks)
     for indices in groups.values():
         for sub_indices in _split_by_size(indices, tasks, cap):
+            if deadline is not None:
+                deadline.checkpoint()
             group = [tasks[i] for i in sub_indices]
             group_counters = [
                 counters_list[i] if counters_list is not None else None
@@ -296,6 +303,8 @@ def execute_plans(
     graph: "Graph",
     plans: Sequence[WalkPlan],
     rng: np.random.Generator,
+    *,
+    deadline: Deadline | None = None,
 ) -> list[Any]:
     """Run every plan's walk phase as fused batches and finalize each plan.
 
@@ -312,6 +321,10 @@ def execute_plans(
     plans) and all plans on non-fused backends take the classic
     :class:`WalkTask` path.  Fused plans execute before task plans, each
     set drawing from the shared ``rng`` in plan order.
+
+    The optional ``deadline`` applies to the whole batch: it is checkpointed
+    between kernel calls on both paths, and tripping it abandons the entire
+    remaining batch (the service passes the batch's latest member deadline).
     """
     from repro.engine.fused import fusion_enabled, run_fused_queries, supports_fused
 
@@ -336,7 +349,8 @@ def execute_plans(
 
     if fused_spans:
         endpoints = run_fused_queries(
-            engine, graph, fused_queries, rng, counters_list=fused_counters
+            engine, graph, fused_queries, rng, counters_list=fused_counters,
+            deadline=deadline,
         )
         for index, start, stop in fused_spans:
             results[index] = plans[index].finalize(endpoints[start:stop])
@@ -352,7 +366,8 @@ def execute_plans(
             counters_list.extend([plan.counters] * (len(tasks) - start))
             spans.append((index, start, len(tasks)))
         endpoints = run_walk_tasks(
-            engine, graph, tasks, rng, counters_list=counters_list
+            engine, graph, tasks, rng, counters_list=counters_list,
+            deadline=deadline,
         )
         for index, start, stop in spans:
             results[index] = plans[index].finalize(endpoints[start:stop])

@@ -105,7 +105,9 @@ def _walks_mc_ppr(graph: Graph, params: dict) -> int:
 # ------------------------------------------------------------------ #
 # Fusible plan builders (serving layer)
 # ------------------------------------------------------------------ #
-def _plan_monte_carlo(graph, seed_node, params, rng, weights_for):
+def _plan_monte_carlo(graph, seed_node, params, rng, weights_for, deadline=None):
+    # No push phase: construction is cheap, so the deadline only applies at
+    # walk execution time (threaded by the engine layer, not the plan).
     from repro.hkpr.batched import MonteCarloPlan
 
     hkpr, kwargs = _split_hkpr("monte-carlo", graph, params)
@@ -118,16 +120,17 @@ def _plan_monte_carlo(graph, seed_node, params, rng, weights_for):
     )
 
 
-def _plan_tea_plus(graph, seed_node, params, rng, weights_for):
+def _plan_tea_plus(graph, seed_node, params, rng, weights_for, deadline=None):
     from repro.hkpr.batched import TeaPlusPlan
 
     hkpr, kwargs = _split_hkpr("tea+", graph, params)
     return TeaPlusPlan(
-        graph, seed_node, hkpr, rng=rng, weights=weights_for(hkpr.t), **kwargs
+        graph, seed_node, hkpr, rng=rng, weights=weights_for(hkpr.t),
+        deadline=deadline, **kwargs
     )
 
 
-def _plan_fora(graph, seed_node, params, rng, weights_for):
+def _plan_fora(graph, seed_node, params, rng, weights_for, deadline=None):
     from repro.ppr.batched import ForaPlan
 
     full = _with_defaults("fora", params)
@@ -141,10 +144,12 @@ def _plan_fora(graph, seed_node, params, rng, weights_for):
         r_max=full.get("r_max"),
         rng=rng,
         max_walks=full.get("max_walks"),
+        deadline=deadline,
     )
 
 
-def _plan_mc_ppr(graph, seed_node, params, rng, weights_for):
+def _plan_mc_ppr(graph, seed_node, params, rng, weights_for, deadline=None):
+    # No push phase (see _plan_monte_carlo).
     from repro.ppr.batched import MonteCarloPPRPlan
 
     full = _with_defaults("mc-ppr", params)
@@ -219,6 +224,7 @@ register(EstimatorSpec(
     fused_sampling=True,
     backend_aware=True,
     estimate_fn=monte_carlo_hkpr,
+    takes_deadline=True,
     plan_fn=_plan_monte_carlo,
     walks_fn=_walks_monte_carlo,
     takes_params_object=True,
@@ -239,6 +245,7 @@ register(EstimatorSpec(
     ),
     backend_aware=True,
     estimate_fn=cluster_hkpr,
+    takes_deadline=True,
     walks_fn=_walks_cluster_hkpr,
     takes_params_object=True,
 ))
@@ -256,6 +263,7 @@ register(EstimatorSpec(
     ),
     deterministic=True,
     estimate_fn=hk_relax,
+    takes_deadline=True,
     takes_params_object=True,
 ))
 
@@ -271,6 +279,7 @@ register(EstimatorSpec(
     ),
     deterministic=True,
     estimate_fn=hk_push_hkpr,
+    takes_deadline=True,
     takes_params_object=True,
 ))
 
@@ -282,6 +291,7 @@ register(EstimatorSpec(
     params=hkpr_base_params(include_c=True) + (_PUSH_BUDGET, _MAX_HOP),
     deterministic=True,
     estimate_fn=hk_push_plus_hkpr,
+    takes_deadline=True,
     takes_params_object=True,
 ))
 
@@ -297,6 +307,7 @@ register(EstimatorSpec(
     ),
     backend_aware=True,
     estimate_fn=tea,
+    takes_deadline=True,
     walks_fn=_walks_tea,
     walks_tight=False,
     takes_params_object=True,
@@ -320,6 +331,7 @@ register(EstimatorSpec(
     fused_sampling=True,
     backend_aware=True,
     estimate_fn=tea_plus,
+    takes_deadline=True,
     plan_fn=_plan_tea_plus,
     walks_fn=_walks_tea_plus,
     walks_tight=False,
@@ -369,6 +381,7 @@ register(EstimatorSpec(
     fused_sampling=True,
     backend_aware=True,
     estimate_fn=fora,
+    takes_deadline=True,
     plan_fn=_plan_fora,
     walks_fn=_walks_fora,
     walks_tight=False,
@@ -389,6 +402,7 @@ register(EstimatorSpec(
     fused_sampling=True,
     backend_aware=True,
     estimate_fn=monte_carlo_ppr,
+    takes_deadline=True,
     plan_fn=_plan_mc_ppr,
     walks_fn=_walks_mc_ppr,
 ))
@@ -409,6 +423,7 @@ register(EstimatorSpec(
     ),
     deterministic=True,
     estimate_fn=nibble_hkpr,
+    takes_deadline=True,
     takes_rng=False,
 ))
 
@@ -424,6 +439,7 @@ register(EstimatorSpec(
     ),
     deterministic=True,
     estimate_fn=pr_nibble_hkpr,
+    takes_deadline=True,
     takes_rng=False,
 ))
 

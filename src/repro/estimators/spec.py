@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import inspect
 import math
+import weakref
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable
 
@@ -30,8 +31,9 @@ FAMILIES = ("hkpr", "ppr", "baseline")
 
 #: Keyword-only estimator arguments that are infrastructure, not method
 #: parameters: they never appear in a spec's schema and are supplied by the
-#: dispatching surface (rng by the caller, backend by the engine selection).
-INFRASTRUCTURE_KWARGS = frozenset({"rng", "backend", "weights", "counters"})
+#: dispatching surface (rng by the caller, backend by the engine selection,
+#: deadline by the serving layer's admission control).
+INFRASTRUCTURE_KWARGS = frozenset({"rng", "backend", "weights", "counters", "deadline"})
 
 
 def _cast_bool(value: Any) -> bool:
@@ -207,6 +209,11 @@ class EstimatorSpec:
     takes_params_object: bool = False
     #: ``estimate_fn`` accepts an ``rng=`` keyword.
     takes_rng: bool = True
+    #: ``estimate_fn`` accepts a ``deadline=`` keyword
+    #: (:class:`repro.utils.Deadline`) and checks it cooperatively from its
+    #: unbounded loops.  Methods with bounded, schema-capped work (``exact``,
+    #: ``simple-local``) leave this False and silently ignore deadlines.
+    takes_deadline: bool = False
     #: For methods without ``takes_params_object``: translate a supplied
     #: :class:`HKPRParams` into estimator kwargs (``None`` = not translatable).
     params_adapter: Callable[[HKPRParams], dict] | None = None
@@ -328,6 +335,7 @@ class EstimatorSpec:
         rng=None,
         estimator_kwargs: dict | None = None,
         backend: str | None = None,
+        deadline=None,
     ):
         """Answer one query, returning the unified :class:`~repro.hkpr.result.HKPRResult`.
 
@@ -362,7 +370,7 @@ class EstimatorSpec:
         # reserved infrastructure names have no estimator-level meaning, so
         # passing them is an error, not a silent drop.
         for key in infrastructure:
-            if key not in ("rng", "backend"):
+            if key not in ("rng", "backend", "deadline"):
                 raise ParameterError(
                     f"infrastructure argument {key!r} is not accepted by "
                     f"method {self.name!r}; allowed parameters: "
@@ -372,10 +380,14 @@ class EstimatorSpec:
             kwargs["rng"] = infrastructure["rng"]
         if self.backend_aware and "backend" in infrastructure:
             kwargs["backend"] = infrastructure["backend"]
+        if self.takes_deadline and "deadline" in infrastructure:
+            kwargs["deadline"] = infrastructure["deadline"]
         if backend is not None and self.backend_aware:
             kwargs.setdefault("backend", backend)
         if self.takes_rng:
             kwargs.setdefault("rng", rng)
+        if deadline is not None and self.takes_deadline:
+            kwargs.setdefault("deadline", deadline)
         if self.takes_params_object:
             fields = {
                 key: kwargs.pop(key)
@@ -424,19 +436,29 @@ class EstimatorSpec:
         rng,
         *,
         weights_for: Callable[[float], PoissonWeights] | None = None,
+        deadline=None,
     ):
         """Build this query's serving plan (``WalkPlan`` or :class:`DirectPlan`).
 
         ``weights_for`` supplies (possibly cached) :class:`PoissonWeights`
         per heat constant; the service passes the graph entry's warm cache.
+        The optional ``deadline`` bounds any deterministic work done at plan
+        construction (push phases, direct execution); plan builders that
+        predate the deadline contract are still called with the legacy
+        five-argument shape.
         """
         if weights_for is None:
             weights_for = PoissonWeights
         if self.plan_fn is not None:
+            if _accepts_deadline(self.plan_fn):
+                return self.plan_fn(
+                    graph, seed_node, params, rng, weights_for, deadline=deadline
+                )
             return self.plan_fn(graph, seed_node, params, rng, weights_for)
         hkpr_params, kwargs = self.split_params(graph, params)
         result = self.estimate(
-            graph, seed_node, params=hkpr_params, rng=rng, estimator_kwargs=kwargs
+            graph, seed_node, params=hkpr_params, rng=rng,
+            estimator_kwargs=kwargs, deadline=deadline,
         )
         return DirectPlan(result)
 
@@ -502,6 +524,38 @@ def hkpr_base_params(*, include_c: bool = False) -> tuple[ParamSpec, ...]:
                       doc="hop-cap constant (Eq. 20)", feeds="params"),
         )
     return base
+
+
+_DEADLINE_ACCEPTANCE: "weakref.WeakKeyDictionary[Callable, bool]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _accepts_deadline(plan_fn: Callable) -> bool:
+    """Whether a plan builder's signature accepts a ``deadline=`` keyword.
+
+    Cached per callable so the signature inspection is paid once; builders
+    registered before the deadline contract keep their five-argument shape.
+    """
+    try:
+        cached = _DEADLINE_ACCEPTANCE.get(plan_fn)
+    except TypeError:  # non-weakrefable callable
+        cached = None
+    if cached is not None:
+        return cached
+    try:
+        parameters = inspect.signature(plan_fn).parameters
+    except (TypeError, ValueError):  # builtins / odd callables
+        accepts = False
+    else:
+        accepts = "deadline" in parameters or any(
+            p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()
+        )
+    try:
+        _DEADLINE_ACCEPTANCE[plan_fn] = accepts
+    except TypeError:
+        pass
+    return accepts
 
 
 def ceil_int(value: float) -> int:

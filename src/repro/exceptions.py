@@ -40,6 +40,34 @@ class ConvergenceError(ReproError):
     """Raised when an iterative method fails to converge within its budget."""
 
 
+class QueryTimeoutError(ReproError):
+    """Raised when a query exceeds its cooperative execution deadline.
+
+    Estimators raise this from their push/walk loops when a bound
+    :class:`repro.utils.Deadline` expires.  The HTTP frontend maps it to
+    status 504 so clients can tell "your query was too expensive for its
+    deadline" apart from invalid input (400) and internal faults (500).
+
+    ``counters`` carries the partial-work accounting gathered before the
+    deadline tripped (``extras["deadline_hit"]`` is set to ``1.0``).
+    """
+
+    def __init__(
+        self,
+        timeout_ms: float,
+        elapsed_ms: float | None = None,
+        *,
+        counters: object | None = None,
+    ) -> None:
+        detail = f"query exceeded its {timeout_ms:g} ms deadline"
+        if elapsed_ms is not None:
+            detail += f" (elapsed {elapsed_ms:.1f} ms)"
+        super().__init__(detail)
+        self.timeout_ms = float(timeout_ms)
+        self.elapsed_ms = elapsed_ms
+        self.counters = counters
+
+
 class ServiceError(ReproError):
     """Raised for invalid requests to the query-serving layer."""
 

@@ -43,6 +43,7 @@ from repro.hkpr.params import HKPRParams
 from repro.hkpr.poisson import PoissonWeights
 from repro.hkpr.result import HKPRResult
 from repro.utils.counters import OperationCounters
+from repro.utils.deadline import Deadline
 from repro.utils.rng import RandomState, ensure_rng
 from repro.utils.sparsevec import SparseVector
 
@@ -158,6 +159,7 @@ class TeaPlusPlan:
         push_budget: int | None = None,
         max_hop: int | None = None,
         weights: PoissonWeights | None = None,
+        deadline: Deadline | None = None,
     ) -> None:
         if not graph.has_node(seed_node):
             raise ParameterError(f"seed node {seed_node} is not in the graph")
@@ -183,6 +185,7 @@ class TeaPlusPlan:
         push_outcome = hk_push_plus(
             graph, self.seed_node, params.eps_r, params.delta,
             hop_cap, budget, self._weights, counters=counters,
+            deadline=deadline,
         )
         self._estimates = push_outcome.reserve
         residues = push_outcome.residues

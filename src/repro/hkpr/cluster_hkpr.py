@@ -26,6 +26,7 @@ from repro.hkpr.params import HKPRParams
 from repro.hkpr.poisson import PoissonWeights
 from repro.hkpr.result import HKPRResult
 from repro.utils.counters import OperationCounters
+from repro.utils.deadline import Deadline
 from repro.utils.rng import RandomState, ensure_rng
 from repro.utils.sparsevec import SparseVector
 
@@ -62,6 +63,7 @@ def cluster_hkpr(
     num_walks: int | None = None,
     max_hop: int | None = None,
     backend: str | Backend | None = None,
+    deadline: Deadline | None = None,
 ) -> HKPRResult:
     """Estimate the HKPR vector of ``seed_node`` with ClusterHKPR.
 
@@ -97,10 +99,14 @@ def cluster_hkpr(
     counters.extras["eps"] = eps_value
     counters.extras["max_hop"] = float(hop_cap)
     counters.extras["backend"] = engine.name
+    if deadline is not None:
+        deadline.bind(counters)
     estimates = SparseVector()
     increment = 1.0 / walks
     # Chunked so the 16 log(n) / eps^3 walk count stays bounded-memory.
     for batch in chunk_sizes(walks):
+        if deadline is not None:
+            deadline.checkpoint()
         end_nodes = engine.poisson_walk_batch(
             graph,
             np.full(batch, seed_node, dtype=np.int64),

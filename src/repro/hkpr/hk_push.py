@@ -27,6 +27,7 @@ from repro.hkpr.poisson import PoissonWeights
 from repro.hkpr.residues import ResidueVectors
 from repro.hkpr.result import HKPRResult
 from repro.utils.counters import OperationCounters
+from repro.utils.deadline import Deadline
 from repro.utils.sparsevec import SparseVector
 
 
@@ -51,6 +52,7 @@ def hk_push(
     weights: PoissonWeights,
     *,
     counters: OperationCounters | None = None,
+    deadline: Deadline | None = None,
 ) -> PushOutcome:
     """Run HK-Push (Algorithm 1) from ``seed_node`` with residue threshold ``r_max``.
 
@@ -65,6 +67,9 @@ def hk_push(
         more and leave less residue mass for the random-walk phase.
     weights:
         Poisson weights for the heat constant ``t``.
+    deadline:
+        Optional cooperative :class:`~repro.utils.Deadline`; checked once
+        per pushed frontier node with the node's degree as the cost.
 
     Returns
     -------
@@ -76,6 +81,8 @@ def hk_push(
     if r_max <= 0.0:
         raise ParameterError(f"r_max must be positive, got {r_max}")
     counters = counters if counters is not None else OperationCounters()
+    if deadline is not None:
+        deadline.bind(counters)
 
     reserve = SparseVector()
     residues = ResidueVectors()
@@ -97,6 +104,8 @@ def hk_push(
         residue = residues.get(hop, node)
         if residue <= r_max * degree or residue <= 0.0:
             continue
+        if deadline is not None:
+            deadline.check(max(degree, 1))
 
         stop_fraction = weights.stop_probability(hop)
         reserve.add(node, stop_fraction * residue)
@@ -134,6 +143,7 @@ def hk_push_hkpr(
     r_max: float | None = None,
     max_pushes: int | None = None,
     rng: object = None,  # accepted for interface uniformity; unused
+    deadline: Deadline | None = None,
 ) -> HKPRResult:
     """HKPR lower bound from HK-Push alone (Algorithm 1, no walk phase).
 
@@ -168,7 +178,9 @@ def hk_push_hkpr(
         threshold = max(threshold, 1.0 / max_pushes)
 
     counters = OperationCounters()
-    outcome = hk_push(graph, seed_node, threshold, weights, counters=counters)
+    outcome = hk_push(
+        graph, seed_node, threshold, weights, counters=counters, deadline=deadline
+    )
     counters.extras["r_max"] = threshold
     counters.extras["alpha"] = sum(
         value for _, _, value in outcome.residues.nonzero_entries()

@@ -28,6 +28,7 @@ from repro.hkpr.poisson import PoissonWeights
 from repro.hkpr.residues import ResidueVectors
 from repro.hkpr.result import HKPRResult
 from repro.utils.counters import OperationCounters
+from repro.utils.deadline import Deadline
 from repro.utils.sparsevec import SparseVector
 
 
@@ -51,6 +52,7 @@ def hk_push_plus(
     *,
     counters: OperationCounters | None = None,
     check_interval: int = 64,
+    deadline: Deadline | None = None,
 ) -> PushPlusOutcome:
     """Run HK-Push+ (Algorithm 4) from ``seed_node``.
 
@@ -69,6 +71,9 @@ def hk_push_plus(
         costs O(#residue entries) to evaluate, so it is checked every
         ``check_interval`` push rounds rather than after every one.  This is
         an implementation schedule choice only; correctness is unaffected.
+    deadline:
+        Optional cooperative :class:`~repro.utils.Deadline`; checked once
+        per push round with the round's cost (the node's degree).
 
     Returns
     -------
@@ -83,6 +88,8 @@ def hk_push_plus(
     if push_budget < 1:
         raise ParameterError(f"push budget must be >= 1, got {push_budget}")
     counters = counters if counters is not None else OperationCounters()
+    if deadline is not None:
+        deadline.bind(counters)
 
     absolute_target = eps_r * delta
     push_threshold_per_degree = absolute_target / max_hop
@@ -107,6 +114,8 @@ def hk_push_plus(
         residue = residues.get(hop, node)
         if residue <= push_threshold_per_degree * degree or residue <= 0.0:
             continue
+        if deadline is not None:
+            deadline.check(max(degree, 1))
 
         # Account for the cost of this push round *before* doing it, matching
         # Algorithm 4 (Lines 5-7) which checks the budget inside the loop.
@@ -170,6 +179,7 @@ def hk_push_plus_hkpr(
     push_budget: int | None = None,
     max_hop: int | None = None,
     rng: object = None,  # accepted for interface uniformity; unused
+    deadline: Deadline | None = None,
 ) -> HKPRResult:
     """HKPR lower bound from HK-Push+ alone (Algorithm 4, no walk phase).
 
@@ -203,6 +213,7 @@ def hk_push_plus_hkpr(
         budget,
         weights,
         counters=counters,
+        deadline=deadline,
     )
     counters.extras["pushes_used"] = float(outcome.pushes_used)
     counters.extras["alpha"] = sum(

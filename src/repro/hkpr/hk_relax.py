@@ -32,6 +32,7 @@ from repro.graph.graph import Graph
 from repro.hkpr.params import HKPRParams
 from repro.hkpr.result import HKPRResult
 from repro.utils.counters import OperationCounters
+from repro.utils.deadline import Deadline
 from repro.utils.sparsevec import SparseVector
 
 #: Default degree-normalized absolute error when none is supplied.
@@ -80,6 +81,7 @@ def hk_relax(
     eps_a: float | None = None,
     rng: object = None,  # accepted for interface uniformity; unused
     max_pushes: int | None = None,
+    deadline: Deadline | None = None,
 ) -> HKPRResult:
     """Estimate the HKPR vector of ``seed_node`` with HK-Relax.
 
@@ -92,7 +94,11 @@ def hk_relax(
         discusses using it for that guarantee.
     max_pushes:
         Optional safety cap on push operations (the guarantee is waived when
-        the cap triggers); ``None`` means run to completion.
+        the cap triggers, reported via ``counters.extras["push_cap_hit"]``);
+        ``None`` means run to completion.
+    deadline:
+        Optional cooperative :class:`~repro.utils.Deadline`; checked once
+        per popped frontier node with the node's degree as the cost.
     """
     if not graph.has_node(seed_node):
         raise ParameterError(f"seed node {seed_node} is not in the graph")
@@ -112,6 +118,8 @@ def hk_relax(
     solution = SparseVector()
     counters = OperationCounters()
     counters.extras["taylor_degree"] = float(degree_n)
+    if deadline is not None:
+        deadline.bind(counters)
 
     def threshold(level: int, degree: int) -> float:
         return exp_t * eps_value * degree / (2.0 * degree_n * psi[level])
@@ -119,8 +127,10 @@ def hk_relax(
     frontier: deque[tuple[int, int]] = deque([(0, seed_node)])
     queued = {(0, seed_node)}
     pushes = 0
-    while frontier:
+    cap_hit = False
+    while frontier and not cap_hit:
         if max_pushes is not None and pushes >= max_pushes:
+            cap_hit = True
             break
         level, node = frontier.popleft()
         queued.discard((level, node))
@@ -128,6 +138,8 @@ def hk_relax(
         node_degree = graph.degree(node)
         if residual <= 0.0 or residual < threshold(level, max(node_degree, 1)):
             continue
+        if deadline is not None:
+            deadline.check(max(node_degree, 1))
 
         residuals[level].pop(node, None)
         solution.add(node, residual)
@@ -147,6 +159,13 @@ def hk_relax(
                 ):
                     frontier.append(key)
                     queued.add(key)
+                # Enforce the cap mid-node: a single high-degree push used
+                # to overshoot ``max_pushes`` by up to the node's degree.
+                if max_pushes is not None and pushes >= max_pushes:
+                    cap_hit = True
+                    break
+    if cap_hit:
+        counters.extras["push_cap_hit"] = 1.0
 
     # Scale the Taylor sum by e^{-t} to obtain the HKPR estimate.
     estimates = solution.scale(math.exp(-t))

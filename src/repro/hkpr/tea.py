@@ -36,6 +36,7 @@ from repro.hkpr.poisson import PoissonWeights
 from repro.hkpr.result import HKPRResult
 from repro.hkpr.walk_phase import run_residue_walk_phase
 from repro.utils.counters import OperationCounters
+from repro.utils.deadline import Deadline
 from repro.utils.rng import RandomState, ensure_rng
 
 
@@ -49,6 +50,7 @@ def tea(
     max_walks: int | None = None,
     max_pushes: int | None = None,
     backend: str | Backend | None = None,
+    deadline: Deadline | None = None,
 ) -> HKPRResult:
     """Estimate the HKPR vector of ``seed_node`` with TEA (Algorithm 3).
 
@@ -72,6 +74,9 @@ def tea(
     backend:
         Execution backend for the walk phase (name, instance, or ``None``
         for the process default; see :mod:`repro.engine`).
+    deadline:
+        Optional cooperative :class:`~repro.utils.Deadline`, threaded
+        through both the push loop and the chunked walk phase.
 
     Returns
     -------
@@ -92,7 +97,9 @@ def tea(
         threshold = max(threshold, 1.0 / max_pushes)
 
     counters = OperationCounters()
-    push_outcome = hk_push(graph, seed_node, threshold, weights, counters=counters)
+    push_outcome = hk_push(
+        graph, seed_node, threshold, weights, counters=counters, deadline=deadline
+    )
     estimates = push_outcome.reserve
     residues = push_outcome.residues
 
@@ -117,6 +124,7 @@ def tea(
                 rng=generator,
                 estimates=estimates,
                 counters=counters,
+                deadline=deadline,
             )
 
     counters.reserve_entries = max(counters.reserve_entries, estimates.nnz())

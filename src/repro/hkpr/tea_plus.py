@@ -37,6 +37,7 @@ from repro.hkpr.poisson import PoissonWeights
 from repro.hkpr.result import HKPRResult
 from repro.hkpr.walk_phase import run_residue_walk_phase
 from repro.utils.counters import OperationCounters
+from repro.utils.deadline import Deadline
 from repro.utils.rng import RandomState, ensure_rng
 
 
@@ -52,6 +53,7 @@ def tea_plus(
     push_budget: int | None = None,
     max_hop: int | None = None,
     backend: str | Backend | None = None,
+    deadline: Deadline | None = None,
 ) -> HKPRResult:
     """Estimate the HKPR vector of ``seed_node`` with TEA+ (Algorithm 5).
 
@@ -73,6 +75,9 @@ def tea_plus(
     backend:
         Execution backend for the walk phase (name, instance, or ``None``
         for the process default; see :mod:`repro.engine`).
+    deadline:
+        Optional cooperative :class:`~repro.utils.Deadline`, threaded
+        through both the push loop and the chunked walk phase.
 
     Returns
     -------
@@ -107,6 +112,7 @@ def tea_plus(
         budget,
         weights,
         counters=counters,
+        deadline=deadline,
     )
     estimates = push_outcome.reserve
     residues = push_outcome.residues
@@ -149,6 +155,7 @@ def tea_plus(
                 rng=generator,
                 estimates=estimates,
                 counters=counters,
+                deadline=deadline,
             )
 
     # Offset correction (Lines 18-19), stored lazily on the result.

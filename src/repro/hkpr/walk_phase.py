@@ -17,6 +17,7 @@ from repro.graph.graph import Graph
 from repro.hkpr.alias import AliasSampler
 from repro.hkpr.poisson import PoissonWeights
 from repro.utils.counters import OperationCounters
+from repro.utils.deadline import Deadline
 from repro.utils.sparsevec import SparseVector
 
 
@@ -31,6 +32,7 @@ def run_residue_walk_phase(
     rng: np.random.Generator,
     estimates: SparseVector,
     counters: OperationCounters | None = None,
+    deadline: Deadline | None = None,
 ) -> None:
     """Run ``num_walks`` residue-sampled walks, accumulating into ``estimates``.
 
@@ -39,7 +41,8 @@ def run_residue_walk_phase(
     structure, and each walk ending at ``v`` adds ``increment`` to
     ``estimates[v]``.  The loop is chunked (:func:`repro.engine.chunk_sizes`)
     so the phase stays bounded-memory at theory-driven (omega-scale) walk
-    counts.
+    counts; an optional ``deadline`` is checkpointed before every chunk so a
+    timed-out query stops between kernel calls rather than mid-kernel.
     """
     start_nodes = np.fromiter(
         (node for _, node, _ in entries), np.int64, count=len(entries)
@@ -49,6 +52,8 @@ def run_residue_walk_phase(
     )
     sampler = AliasSampler(start_nodes, [value for _, _, value in entries])
     for batch in chunk_sizes(num_walks):
+        if deadline is not None:
+            deadline.checkpoint()
         picks = sampler.sample_indices(batch, rng)
         end_nodes = engine.walk_batch(
             graph,

@@ -27,6 +27,7 @@ from repro.hkpr.result import HKPRResult
 from repro.ppr.fora import walk_count
 from repro.ppr.push import forward_push
 from repro.utils.counters import OperationCounters
+from repro.utils.deadline import Deadline
 from repro.utils.rng import RandomState, ensure_rng
 from repro.utils.sparsevec import SparseVector
 
@@ -121,6 +122,7 @@ class ForaPlan:
         r_max: float | None = None,
         rng: RandomState = None,
         max_walks: int | None = None,
+        deadline: Deadline | None = None,
     ) -> None:
         if not graph.has_node(seed_node):
             raise ParameterError(f"seed node {seed_node} is not in the graph")
@@ -145,7 +147,8 @@ class ForaPlan:
         counters.extras["omega"] = float(omega)
         self.counters = counters
         push_outcome = forward_push(
-            graph, self.seed_node, alpha=alpha, r_max=r_max, counters=counters
+            graph, self.seed_node, alpha=alpha, r_max=r_max, counters=counters,
+            deadline=deadline,
         )
         self._estimates = push_outcome.reserve
         residue = push_outcome.residue

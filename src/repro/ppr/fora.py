@@ -30,6 +30,7 @@ from repro.hkpr.params import default_delta
 from repro.hkpr.result import HKPRResult
 from repro.ppr.push import forward_push
 from repro.utils.counters import OperationCounters
+from repro.utils.deadline import Deadline
 from repro.utils.rng import RandomState, ensure_rng
 from repro.utils.sparsevec import SparseVector
 
@@ -59,6 +60,7 @@ def monte_carlo_ppr(
     num_walks: int = 10_000,
     rng: RandomState = None,
     backend: str | Backend | None = None,
+    deadline: Deadline | None = None,
 ) -> HKPRResult:
     """Plain Monte-Carlo PPR: the fraction of restart walks ending at each node."""
     if not graph.has_node(seed_node):
@@ -72,9 +74,13 @@ def monte_carlo_ppr(
     start = time.perf_counter()
     counters = OperationCounters()
     counters.extras["backend"] = engine.name
+    if deadline is not None:
+        deadline.bind(counters)
     estimates = SparseVector()
     increment = 1.0 / num_walks
     for batch in chunk_sizes(num_walks):
+        if deadline is not None:
+            deadline.checkpoint()
         end_nodes = engine.geometric_walk_batch(
             graph,
             np.full(batch, seed_node, dtype=np.int64),
@@ -107,6 +113,7 @@ def fora(
     rng: RandomState = None,
     max_walks: int | None = None,
     backend: str | Backend | None = None,
+    deadline: Deadline | None = None,
 ) -> HKPRResult:
     """Estimate the PPR vector of ``seed_node`` with FORA (push + walks).
 
@@ -126,6 +133,9 @@ def fora(
     backend:
         Execution backend for the walk phase (name, instance, or ``None``
         for the process default; see :mod:`repro.engine`).
+    deadline:
+        Optional cooperative :class:`~repro.utils.Deadline`, threaded
+        through the push phase and the chunked walk phase.
     """
     if not graph.has_node(seed_node):
         raise ParameterError(f"seed node {seed_node} is not in the graph")
@@ -146,7 +156,8 @@ def fora(
     counters.extras["omega"] = float(omega)
     counters.extras["backend"] = engine.name
     push_outcome = forward_push(
-        graph, seed_node, alpha=alpha, r_max=r_max, counters=counters
+        graph, seed_node, alpha=alpha, r_max=r_max, counters=counters,
+        deadline=deadline,
     )
     estimates = push_outcome.reserve
     residue = push_outcome.residue
@@ -165,6 +176,8 @@ def fora(
             sampler = AliasSampler(start_nodes, [v for _, v in entries])
             increment = residual_mass / num_walks
             for batch in chunk_sizes(num_walks):
+                if deadline is not None:
+                    deadline.checkpoint()
                 picks = sampler.sample_indices(batch, generator)
                 end_nodes = engine.geometric_walk_batch(
                     graph, start_nodes[picks], alpha, generator, counters=counters

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from repro.exceptions import ParameterError
 from repro.graph.graph import Graph
 from repro.utils.counters import OperationCounters
+from repro.utils.deadline import Deadline
 from repro.utils.sparsevec import SparseVector
 
 
@@ -44,8 +45,13 @@ def forward_push(
     alpha: float = 0.15,
     r_max: float = 1e-4,
     counters: OperationCounters | None = None,
+    deadline: Deadline | None = None,
 ) -> PPRPushOutcome:
-    """Run the ACL forward push from ``seed_node`` with threshold ``r_max``."""
+    """Run the ACL forward push from ``seed_node`` with threshold ``r_max``.
+
+    The optional ``deadline`` is checked cooperatively once per pushed node
+    with the node's degree as the cost.
+    """
     if not graph.has_node(seed_node):
         raise ParameterError(f"seed node {seed_node} is not in the graph")
     if not 0.0 < alpha < 1.0:
@@ -53,6 +59,8 @@ def forward_push(
     if r_max <= 0.0:
         raise ParameterError(f"r_max must be positive, got {r_max}")
     counters = counters if counters is not None else OperationCounters()
+    if deadline is not None:
+        deadline.bind(counters)
 
     reserve = SparseVector()
     residue = SparseVector({seed_node: 1.0})
@@ -71,6 +79,8 @@ def forward_push(
             continue
         if value <= r_max * degree or value <= 0.0:
             continue
+        if deadline is not None:
+            deadline.check(degree)
 
         reserve.add(node, alpha * value)
         residue[node] = 0.0

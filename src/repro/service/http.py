@@ -3,10 +3,12 @@
 Endpoints:
 
 * ``POST /query`` — body ``{"graph": ..., "method": ..., "seed_node": ...,
-  "params": {...}, "rng": ..., "top_k": ...}``; responds with the
-  :meth:`QueryResponse.to_dict` envelope.  ``400`` for invalid requests,
-  ``429`` when admission control rejects (backpressure), ``500`` for
-  execution failures.
+  "params": {...}, "rng": ..., "top_k": ..., "timeout_ms": ...}``; responds
+  with the :meth:`QueryResponse.to_dict` envelope.  ``400`` for invalid
+  requests, ``429`` when admission control rejects (backpressure), ``504``
+  when the query's deadline trips (body carries ``timeout_ms``,
+  ``elapsed_ms`` and the partial-work counters), ``500`` for execution
+  failures.
 * ``GET /stats`` — serving telemetry (latency, cache hit rate, batch
   occupancy, walks/sec).
 * ``GET /graphs`` — registered graphs and their sizes.
@@ -24,16 +26,23 @@ it performs no authentication.
 
 from __future__ import annotations
 
+import concurrent.futures
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
-from repro.exceptions import ReproError, ServiceOverloadedError
+from repro.exceptions import QueryTimeoutError, ReproError, ServiceOverloadedError
 from repro.service.planner import DEFAULT_TOP_K
 from repro.service.service import QueryService
 
 #: Largest accepted request body, a defense against accidental floods.
 MAX_BODY_BYTES = 1 << 20
+
+#: Hard cap on how long a handler thread blocks on the response future.
+#: A backstop behind the cooperative per-query deadline: it only fires if
+#: an estimator fails to check its deadline (or no deadline is set at all),
+#: and it maps to the same 504 a cooperative trip produces.
+FUTURE_TIMEOUT_SECONDS = 60.0
 
 
 class ServiceRequestHandler(BaseHTTPRequestHandler):
@@ -118,9 +127,38 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 payload.get("params"),
                 rng=payload.get("rng"),
                 top_k=payload.get("top_k", DEFAULT_TOP_K),
+                timeout_ms=payload.get("timeout_ms"),
+                timeout=FUTURE_TIMEOUT_SECONDS,
             )
-            entry = self.service.registry.get(payload["graph"])
-            self._send_json(200, response.to_dict(entry))
+            # The response carries the graph entry resolved at admission —
+            # do NOT look the name up again here: an unregister between
+            # execution and rendering used to turn a completed query into
+            # a spurious 500.
+            self._send_json(200, response.to_dict())
+        except QueryTimeoutError as error:
+            body = {
+                "error": str(error),
+                "timeout_ms": error.timeout_ms,
+            }
+            if error.elapsed_ms is not None:
+                body["elapsed_ms"] = round(error.elapsed_ms, 3)
+            if error.counters is not None:
+                body["counters"] = error.counters.as_dict()
+            self._send_json(504, body)
+        except concurrent.futures.TimeoutError:
+            # The future-wait backstop fired (the query is still running
+            # server-side).  This used to fall into the blanket handler
+            # below and masquerade as a 500.
+            self._send_json(
+                504,
+                {
+                    "error": (
+                        "query did not complete within the server's "
+                        f"{FUTURE_TIMEOUT_SECONDS:g} s response window"
+                    ),
+                    "timeout_ms": FUTURE_TIMEOUT_SECONDS * 1000.0,
+                },
+            )
         except ServiceOverloadedError as error:
             self._send_json(429, {"error": str(error)})
         except ReproError as error:

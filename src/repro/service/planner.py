@@ -105,6 +105,7 @@ class QueryRequest:
     params: dict = field(default_factory=dict)
     rng: int | None = None
     top_k: int = DEFAULT_TOP_K
+    timeout_ms: float | None = None
 
     @property
     def pinned(self) -> bool:
@@ -112,12 +113,14 @@ class QueryRequest:
         return self.rng is not None
 
     def cache_key(self) -> tuple:
-        """Canonical cache key (excludes ``rng`` and ``top_k``).
+        """Canonical cache key (excludes ``rng``, ``top_k``, ``timeout_ms``).
 
         ``top_k`` only shapes the response envelope and the full result is
         cached, so two requests differing only in ``top_k`` share a key.
-        Method aliases were resolved at normalization, so an aliased
-        request shares the canonical spelling's key.
+        ``timeout_ms`` bounds execution time without changing the answer —
+        a cached result is valid for any deadline.  Method aliases were
+        resolved at normalization, so an aliased request shares the
+        canonical spelling's key.
         """
         return (
             self.graph,
@@ -139,6 +142,7 @@ def normalize_request(
     *,
     rng=None,
     top_k=DEFAULT_TOP_K,
+    timeout_ms=None,
     entry: GraphEntry | None = None,
 ) -> QueryRequest:
     """Validate raw request fields into a :class:`QueryRequest`.
@@ -159,6 +163,13 @@ def normalize_request(
         raise ServiceError(f"non-integer seed_node/top_k/rng: {exc}") from None
     if top_k < 1:
         raise ServiceError(f"top_k must be >= 1, got {top_k}")
+    if timeout_ms is not None:
+        try:
+            timeout_ms = float(timeout_ms)
+        except (TypeError, ValueError) as exc:
+            raise ServiceError(f"non-numeric timeout_ms: {exc}") from None
+        if not timeout_ms > 0:
+            raise ServiceError(f"timeout_ms must be positive, got {timeout_ms}")
 
     try:
         normalized = spec.validate_params(params)
@@ -175,7 +186,7 @@ def normalize_request(
         )
     return QueryRequest(
         graph=graph, method=spec.name, seed_node=seed_node,
-        params=normalized, rng=rng, top_k=top_k,
+        params=normalized, rng=rng, top_k=top_k, timeout_ms=timeout_ms,
     )
 
 
@@ -198,7 +209,7 @@ def walk_estimate_is_tight(request: QueryRequest) -> bool:
     return SERVICE_METHODS[request.method].walks_tight
 
 
-def build_plan(entry: GraphEntry, request: QueryRequest):
+def build_plan(entry: GraphEntry, request: QueryRequest, *, deadline=None):
     """Build the request's :class:`~repro.engine.multi.WalkPlan`.
 
     Push phases and residue sampling run here (on the dispatch thread).
@@ -207,6 +218,8 @@ def build_plan(entry: GraphEntry, request: QueryRequest):
     graph entry's warm per-``t`` Poisson-weight cache is threaded into the
     fusible specs' plan builders; direct plans run the estimator free
     function, which builds its own (small) Poisson table per query.
+    ``deadline`` (when given) is threaded into deadline-aware estimators'
+    push loops, so unbounded plan-construction work trips it too.
     """
     rng = ensure_rng(request.rng) if request.pinned else ensure_rng(None)
     plan = SERVICE_METHODS[request.method].build_plan(
@@ -215,5 +228,6 @@ def build_plan(entry: GraphEntry, request: QueryRequest):
         request.params,
         rng,
         weights_for=entry.poisson_weights,
+        deadline=deadline,
     )
     return plan, rng

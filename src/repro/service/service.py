@@ -32,6 +32,7 @@ from dataclasses import dataclass
 from repro.engine import Backend, get_backend
 from repro.engine.multi import execute_plans, run_walk_tasks
 from repro.exceptions import (
+    QueryTimeoutError,
     ReproError,
     ServiceExecutionError,
     ServiceOverloadedError,
@@ -53,10 +54,15 @@ from repro.service.planner import (
     walk_estimate_is_tight,
 )
 from repro.service.registry import GraphEntry, GraphRegistry
+from repro.utils.deadline import Deadline
 from repro.utils.rng import RandomState, ensure_rng
 
 #: Default cap on the estimated walks admitted but not yet completed.
 DEFAULT_MAX_INFLIGHT_WALKS = 50_000_000
+
+#: Default per-query wall-clock budget (ms) when a request does not carry
+#: its own ``timeout_ms``.  ``None`` disables the service-level default.
+DEFAULT_QUERY_TIMEOUT_MS = 60_000.0
 
 
 @dataclass
@@ -68,9 +74,19 @@ class QueryResponse:
     cached: bool
     latency_seconds: float
     batch_size: int
+    entry: GraphEntry | None = None
 
-    def to_dict(self, entry: GraphEntry) -> dict:
-        """The JSON envelope served over HTTP (top-k ranking included)."""
+    def to_dict(self, entry: GraphEntry | None = None) -> dict:
+        """The JSON envelope served over HTTP (top-k ranking included).
+
+        Uses the graph entry resolved at admission (carried on the
+        response) by default, so frontends need not — and should not —
+        re-resolve the graph name afterwards: a concurrent unregister or
+        re-register would raise or rank against a different graph.
+        """
+        entry = entry if entry is not None else self.entry
+        if entry is None:
+            raise ValueError("QueryResponse carries no graph entry")
         graph = entry.graph
         top = [
             [node, self.result.value(node, graph)]
@@ -101,6 +117,7 @@ class Telemetry:
         self._cache_hits = 0
         self._rejected = 0
         self._errors = 0
+        self._timeouts = 0
         self._walks = 0
         self._batches = 0
         self._batched_requests = 0
@@ -122,6 +139,11 @@ class Telemetry:
     def record_error(self) -> None:
         with self._lock:
             self._errors += 1
+
+    def record_timeout(self) -> None:
+        """A query tripped its deadline (counted apart from errors)."""
+        with self._lock:
+            self._timeouts += 1
 
     def record_batch(self, occupancy: int, walks: int, seconds: float) -> None:
         with self._lock:
@@ -147,6 +169,7 @@ class Telemetry:
                 "requests_per_second": round(self._requests / uptime, 3),
                 "rejected_total": self._rejected,
                 "errors_total": self._errors,
+                "timeouts_total": self._timeouts,
                 "latency_ms": {
                     "mean": round(
                         sum(latencies) / len(latencies) * 1000.0, 3
@@ -181,6 +204,7 @@ class _Pending:
     future: Future
     estimated_walks: int
     submitted_at: float
+    deadline: Deadline | None = None
 
 
 class QueryService:
@@ -197,9 +221,14 @@ class QueryService:
         max_inflight_walks: int = DEFAULT_MAX_INFLIGHT_WALKS,
         cache_entries: int = 1024,
         cache_ttl_seconds: float | None = None,
+        default_timeout_ms: float | None = None,
         rng: RandomState = None,
     ) -> None:
         self.registry = registry if registry is not None else GraphRegistry()
+        #: Deadline applied to requests that carry no ``timeout_ms`` of
+        #: their own; ``None`` leaves such requests unbounded.  The CLI
+        #: ``serve`` command defaults this to ``DEFAULT_QUERY_TIMEOUT_MS``.
+        self.default_timeout_ms = default_timeout_ms
         self._backend = get_backend(backend)
         self._rng = ensure_rng(rng)
         self.telemetry = Telemetry()
@@ -254,8 +283,14 @@ class QueryService:
         *,
         rng=None,
         top_k=DEFAULT_TOP_K,
+        timeout_ms=None,
     ) -> "Future[QueryResponse]":
         """Admit one query; returns a future resolving to :class:`QueryResponse`.
+
+        ``timeout_ms`` (or, absent that, the service's ``default_timeout_ms``)
+        starts the query's cooperative deadline *now*, so queue wait counts
+        against the budget; the future fails with
+        :class:`~repro.exceptions.QueryTimeoutError` when the deadline trips.
 
         Raises :class:`ServiceError` for invalid requests and
         :class:`ServiceOverloadedError` when admission control rejects
@@ -263,7 +298,8 @@ class QueryService:
         """
         entry = self.registry.get(graph)
         request = normalize_request(
-            graph, method, seed_node, params, rng=rng, top_k=top_k, entry=entry
+            graph, method, seed_node, params, rng=rng, top_k=top_k,
+            timeout_ms=timeout_ms, entry=entry,
         )
         submitted_at = time.perf_counter()
 
@@ -276,6 +312,7 @@ class QueryService:
                     cached=True,
                     latency_seconds=time.perf_counter() - submitted_at,
                     batch_size=0,
+                    entry=entry,
                 )
                 self.telemetry.record_response(
                     response.latency_seconds, cached=True
@@ -313,7 +350,17 @@ class QueryService:
                 )
             self._inflight_walks += estimated
 
-        pending = _Pending(request, entry, Future(), estimated, submitted_at)
+        effective_timeout = (
+            request.timeout_ms
+            if request.timeout_ms is not None
+            else self.default_timeout_ms
+        )
+        deadline = (
+            Deadline(effective_timeout) if effective_timeout is not None else None
+        )
+        pending = _Pending(
+            request, entry, Future(), estimated, submitted_at, deadline
+        )
         try:
             self._batcher.submit(pending)
         except ServiceOverloadedError:
@@ -375,6 +422,7 @@ class QueryService:
             cached=False,
             latency_seconds=time.perf_counter() - pending.submitted_at,
             batch_size=batch_size,
+            entry=pending.entry,
         )
         if self.cache is not None and pending.request.cache_eligible():
             self.cache.put(pending.request.cache_key(), result)
@@ -386,6 +434,14 @@ class QueryService:
 
     def _fail(self, pending: _Pending, error: Exception) -> None:
         self.telemetry.record_error()
+        try:
+            pending.future.set_exception(error)
+        except InvalidStateError:  # client cancelled mid-flight
+            pass
+
+    def _fail_timeout(self, pending: _Pending, error: QueryTimeoutError) -> None:
+        """Deadline trips are accounted apart from errors (see ``/stats``)."""
+        self.telemetry.record_timeout()
         try:
             pending.future.set_exception(error)
         except InvalidStateError:  # client cancelled mid-flight
@@ -407,7 +463,18 @@ class QueryService:
                 self._release_walks(pending.estimated_walks)
                 continue
             try:
-                plan, plan_rng = build_plan(pending.entry, pending.request)
+                if pending.deadline is not None:
+                    # Queue wait counts against the budget: a request whose
+                    # deadline already passed fails here instead of burning
+                    # dispatch-thread time on a doomed push phase.
+                    pending.deadline.checkpoint()
+                plan, plan_rng = build_plan(
+                    pending.entry, pending.request, deadline=pending.deadline
+                )
+            except QueryTimeoutError as error:
+                self._release_walks(pending.estimated_walks)
+                self._fail_timeout(pending, error)
+                continue
             except ReproError as error:
                 # Client-attributable (bad parameter combination the
                 # admission checks could not see) -> HTTP 400.
@@ -431,8 +498,39 @@ class QueryService:
         for group in fused.values():
             entry = group[0][0].entry
             plans = [plan for _, plan in group]
+            # The fused kernels execute all members' walks interleaved, so
+            # the group can only honor one deadline: the *latest* member
+            # expiry (no member fails earlier than its own budget allows).
+            # Any member without a deadline makes the group unbounded.
+            deadlines = [pending.deadline for pending, _ in group]
+            group_deadline = (
+                max(deadlines, key=lambda d: d.expires_at)
+                if all(d is not None for d in deadlines)
+                else None
+            )
             try:
-                results = execute_plans(self._backend, entry.graph, plans, self._rng)
+                results = execute_plans(
+                    self._backend, entry.graph, plans, self._rng,
+                    deadline=group_deadline,
+                )
+            except QueryTimeoutError:
+                # The whole group's remaining walks were abandoned; fail
+                # each member against its own deadline with its own
+                # partial-work counters.
+                for pending, plan in group:
+                    self._release_walks(pending.estimated_walks)
+                    if plan.counters is not None:
+                        plan.counters.extras["deadline_hit"] = 1.0
+                    member = pending.deadline
+                    self._fail_timeout(
+                        pending,
+                        QueryTimeoutError(
+                            member.timeout_ms,
+                            member.elapsed_ms(),
+                            counters=plan.counters,
+                        ),
+                    )
+                continue
             except Exception as error:  # noqa: BLE001 - fail the group, not the loop
                 wrapped = (
                     error
@@ -456,8 +554,13 @@ class QueryService:
                     plan.tasks,
                     plan_rng,
                     counters_list=[plan.counters] * len(plan.tasks),
+                    deadline=pending.deadline,
                 )
                 result = plan.finalize(endpoints)
+            except QueryTimeoutError as error:
+                self._release_walks(pending.estimated_walks)
+                self._fail_timeout(pending, error)
+                continue
             except Exception as error:  # noqa: BLE001 - future must not hang
                 wrapped = (
                     error
@@ -495,13 +598,17 @@ class ServiceClient:
         *,
         rng=None,
         top_k=DEFAULT_TOP_K,
+        timeout_ms=None,
         timeout: float | None = 60.0,
     ) -> dict:
         """Query and shape the response exactly like the HTTP frontend."""
         response = self._service.query(
-            graph, method, seed_node, params, rng=rng, top_k=top_k, timeout=timeout
+            graph, method, seed_node, params, rng=rng, top_k=top_k,
+            timeout_ms=timeout_ms, timeout=timeout,
         )
-        return response.to_dict(self._service.registry.get(graph))
+        # The response carries the entry resolved at admission; a second
+        # registry lookup here could race with unregister/re-register.
+        return response.to_dict()
 
     def stats(self) -> dict:
         """The ``/stats`` payload."""

@@ -1,8 +1,16 @@
 """Shared utilities: RNG plumbing, timers, operation counters, sparse vectors."""
 
 from repro.utils.counters import OperationCounters
+from repro.utils.deadline import DEFAULT_CHECK_STRIDE, Deadline
 from repro.utils.rng import ensure_rng
 from repro.utils.sparsevec import SparseVector
 from repro.utils.timer import Timer
 
-__all__ = ["OperationCounters", "SparseVector", "Timer", "ensure_rng"]
+__all__ = [
+    "DEFAULT_CHECK_STRIDE",
+    "Deadline",
+    "OperationCounters",
+    "SparseVector",
+    "Timer",
+    "ensure_rng",
+]

@@ -309,6 +309,24 @@ class TestServeCommand:
         finally:
             service.stop()
 
+    def test_default_timeout_flag(self):
+        from repro.cli import build_service_from_args
+
+        # The serve default (60 s) reaches the service.
+        args = self._serve_args("--generate", "grid3d,side=3")
+        assert args.default_timeout_ms == 60_000.0
+        assert build_service_from_args(args).default_timeout_ms == 60_000.0
+        # An explicit value flows through.
+        args = self._serve_args(
+            "--generate", "grid3d,side=3", "--default-timeout-ms", "2500"
+        )
+        assert build_service_from_args(args).default_timeout_ms == 2500.0
+        # <= 0 disables the service-level default entirely.
+        args = self._serve_args(
+            "--generate", "grid3d,side=3", "--default-timeout-ms", "0"
+        )
+        assert build_service_from_args(args).default_timeout_ms is None
+
     def test_build_service_registers_multiple_sources(self, tmp_path):
         from repro.cli import build_service_from_args
         from repro.graph.io import save_edge_list

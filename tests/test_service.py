@@ -10,6 +10,7 @@ import numpy as np
 import pytest
 
 from repro.exceptions import (
+    QueryTimeoutError,
     ServiceError,
     ServiceExecutionError,
     ServiceOverloadedError,
@@ -341,6 +342,89 @@ class TestQueryService:
             assert svc.stats()["errors_total"] == 1
 
 
+#: A pr-nibble parameterization that would push for minutes on the tiny
+#: grid: the threshold is astronomically small and almost no mass is
+#: absorbed per push, so only a deadline can end it promptly.
+PATHOLOGICAL_PR_NIBBLE = {"eps": 1e-300, "alpha": 0.001}
+
+
+class TestServingDeadlines:
+    def test_timeout_ms_validation(self, registry):
+        with pytest.raises(ServiceError, match="timeout_ms must be positive"):
+            normalize_request("grid", "monte-carlo", 0, timeout_ms=-5)
+        with pytest.raises(ServiceError, match="non-numeric timeout_ms"):
+            normalize_request("grid", "monte-carlo", 0, timeout_ms="soon")
+
+    def test_timeout_ms_not_in_cache_key(self):
+        a = normalize_request("grid", "monte-carlo", 0, timeout_ms=100)
+        b = normalize_request("grid", "monte-carlo", 0, timeout_ms=5000)
+        c = normalize_request("grid", "monte-carlo", 0)
+        assert a.cache_key() == b.cache_key() == c.cache_key()
+
+    def test_pathological_query_times_out_promptly(self, service):
+        future = service.submit(
+            "grid", "pr-nibble", 0, PATHOLOGICAL_PR_NIBBLE, timeout_ms=150
+        )
+        with pytest.raises(QueryTimeoutError) as excinfo:
+            future.result(timeout=10)
+        error = excinfo.value
+        assert error.timeout_ms == 150
+        assert error.elapsed_ms >= 150
+        # Partial-work accounting rode along on the exception.
+        assert error.counters is not None
+        assert error.counters.extras["deadline_hit"] == 1.0
+        assert error.counters.push_operations > 0
+        stats = service.stats()
+        assert stats["timeouts_total"] == 1
+        assert stats["errors_total"] == 0  # timeouts are not errors
+        assert stats["inflight_walks"] == 0  # admission budget released
+
+    def test_batcher_survives_a_timed_out_member(self, service):
+        doomed = service.submit(
+            "grid", "pr-nibble", 0, PATHOLOGICAL_PR_NIBBLE, timeout_ms=150
+        )
+        with pytest.raises(QueryTimeoutError):
+            doomed.result(timeout=10)
+        # The dispatch thread is alive and healthy queries still serve.
+        response = service.query("grid", "hk-relax", 1, timeout=30)
+        assert response.result.support_size() > 0
+
+    def test_service_default_timeout_applies(self, registry):
+        with QueryService(
+            registry, max_batch=4, cache_entries=0, default_timeout_ms=150
+        ) as svc:
+            future = svc.submit("grid", "pr-nibble", 0, PATHOLOGICAL_PR_NIBBLE)
+            with pytest.raises(QueryTimeoutError):
+                future.result(timeout=10)
+            # A per-request timeout_ms overrides the service default.
+            assert svc.query(
+                "grid", "hk-relax", 0, timeout_ms=60_000
+            ).result.support_size() > 0
+
+    def test_generous_deadline_leaves_results_byte_identical(self, registry):
+        with QueryService(registry, max_batch=4, cache_entries=0) as svc:
+            bounded = svc.query("grid", "hk-relax", 2, timeout_ms=60_000)
+            unbounded = svc.query("grid", "hk-relax", 2)
+            assert (
+                bounded.result.estimates.to_dict()
+                == unbounded.result.estimates.to_dict()
+            )
+            bounded = svc.query(
+                "grid", "pr-nibble", 2, {"eps": 1e-5}, timeout_ms=60_000
+            )
+            unbounded = svc.query("grid", "pr-nibble", 2, {"eps": 1e-5})
+            assert (
+                bounded.result.estimates.to_dict()
+                == unbounded.result.estimates.to_dict()
+            )
+
+    def test_response_carries_admission_entry(self, service):
+        response = service.query("grid", "monte-carlo", 0, {"num_walks": 100})
+        assert response.entry is service.registry.get("grid")
+        # to_dict no longer needs (and should not get) a second lookup.
+        assert response.to_dict()["graph"] == "grid"
+
+
 class TestServiceClient:
     def test_query_dict_envelope(self, service):
         client = ServiceClient(service)
@@ -429,6 +513,54 @@ class TestHTTPFrontend:
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             urllib.request.urlopen(f"{base}/bogus", timeout=10)
         assert excinfo.value.code == 404
+
+    def test_deadline_trip_maps_to_504(self, http_service):
+        base, svc = http_service
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self._post(
+                base,
+                {"graph": "grid", "method": "pr-nibble", "seed_node": 0,
+                 "params": PATHOLOGICAL_PR_NIBBLE, "timeout_ms": 150},
+            )
+        assert excinfo.value.code == 504
+        body = json.loads(excinfo.value.read())
+        assert body["timeout_ms"] == 150
+        assert body["elapsed_ms"] >= 150
+        assert "deadline" in body["error"]
+        assert body["counters"]["deadline_hit"] == 1.0
+        with urllib.request.urlopen(f"{base}/stats", timeout=10) as response:
+            assert json.loads(response.read())["timeouts_total"] >= 1
+        # The server is still healthy for ordinary queries.
+        payload = self._post(
+            base,
+            {"graph": "grid", "method": "hk-relax", "seed_node": 1},
+        )
+        assert len(payload["top"]) > 0
+
+    def test_future_wait_backstop_maps_to_504_not_500(self, http_service):
+        # A query outliving the handler's future wait used to fall into the
+        # blanket `except Exception` and masquerade as a 500.
+        import concurrent.futures
+
+        base, svc = http_service
+
+        def _hang(*args, **kwargs):
+            raise concurrent.futures.TimeoutError()
+
+        original = svc.query
+        svc.query = _hang
+        try:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                self._post(
+                    base,
+                    {"graph": "grid", "method": "hk-relax", "seed_node": 0},
+                )
+            assert excinfo.value.code == 504
+            body = json.loads(excinfo.value.read())
+            assert "response window" in body["error"]
+            assert body["timeout_ms"] > 0
+        finally:
+            svc.query = original
 
     def test_oversized_body_rejected_and_connection_closed(self, http_service):
         base, _ = http_service
