@@ -21,6 +21,9 @@ writing Python:
 * ``repro-cli graph pack`` — convert an edge list (or a generated /
   built-in graph) into the mmap-able ``.rcsr`` binary CSR container
   (:mod:`repro.graph.binfmt`); ``repro-cli graph info`` inspects one.
+* ``repro-cli index build`` — precompute a ``.rwix`` walk-sketch index
+  (:mod:`repro.index`) for a graph's hub nodes, served via
+  ``serve --index``; ``repro-cli index info`` inspects one.
 
 Method names, parameter validation and help text for ``cluster`` are all
 rendered from the estimator registry — the CLI keeps no method table.
@@ -40,6 +43,9 @@ Examples
     python -m repro.cli experiment figure3 --datasets grid3d-sim --num-seeds 2
     python -m repro.cli graph pack --edge-list my_graph.txt -o my_graph.rcsr
     python -m repro.cli graph info my_graph.rcsr
+    python -m repro.cli index build --binary my_graph.rcsr -o my_graph.rwix
+    python -m repro.cli index info my_graph.rwix
+    python -m repro.cli serve --binary my_graph.rcsr --index my_graph.rwix
     python -m repro.cli serve --dataset dblp-sim --port 8355
     python -m repro.cli serve --binary my_graph.rcsr --graph-name big
     python -m repro.cli serve --generate "chung-lu,n=100000,seed=11" --graph-name big
@@ -142,8 +148,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-members", type=int, default=20, help="cluster members to print (default 20)"
     )
 
-    subparsers.add_parser(
+    methods = subparsers.add_parser(
         "methods", help="list registered estimation methods and their parameters"
+    )
+    methods.add_argument(
+        "--json", action="store_true",
+        help="emit the registry as JSON (machine-readable; for CI/scripts)",
     )
 
     subparsers.add_parser("datasets", help="list built-in benchmark surrogates")
@@ -217,6 +227,14 @@ def build_parser() -> argparse.ArgumentParser:
         "timeout_ms of its own; <= 0 disables the default (default 60000)",
     )
     serve.add_argument("--rng", type=int, default=None, help="batch RNG seed")
+    serve.add_argument(
+        "--index", action="append", default=[], metavar="[NAME=]PATH",
+        help=(
+            "attach a precomputed .rwix walk-sketch index (repeatable; "
+            "see `repro-cli index build`).  PATH alone requires a single "
+            "registered graph; NAME=PATH targets one of several"
+        ),
+    )
 
     graph = subparsers.add_parser(
         "graph", help="pack / inspect binary CSR graph containers"
@@ -244,6 +262,78 @@ def build_parser() -> argparse.ArgumentParser:
         "info", help="print the header and sizes of an .rcsr container"
     )
     info.add_argument("path", help="path to an .rcsr file")
+    info.add_argument(
+        "--json", action="store_true",
+        help="emit the summary as JSON (machine-readable; for CI/scripts)",
+    )
+
+    index = subparsers.add_parser(
+        "index", help="build / inspect .rwix walk-sketch index containers"
+    )
+    index_sub = index.add_subparsers(dest="index_command", required=True)
+    index_build = index_sub.add_parser(
+        "build",
+        help=(
+            "precompute walk-endpoint sketches for a graph's hub nodes and "
+            "write the mmap-able .rwix container"
+        ),
+    )
+    index_source = index_build.add_mutually_exclusive_group(required=True)
+    index_source.add_argument(
+        "--edge-list", help="path to a whitespace-separated edge list"
+    )
+    index_source.add_argument(
+        "--dataset", choices=sorted(DATASETS), help="built-in surrogate dataset"
+    )
+    index_source.add_argument(
+        "--generate", metavar="SPEC",
+        help="generator spec, e.g. 'chung-lu,n=100000,seed=11'",
+    )
+    index_source.add_argument(
+        "--binary", help="packed .rcsr graph (the usual pairing: pack, then index)"
+    )
+    index_build.add_argument(
+        "--output", "-o", required=True, help="output .rwix path"
+    )
+    index_build.add_argument(
+        "--hubs", type=int, default=64,
+        help="number of top-degree hub nodes to index (default 64)",
+    )
+    index_build.add_argument(
+        "--seeds", default=None, metavar="ID,ID,...",
+        help="explicit comma-separated seed nodes to index (overrides --hubs)",
+    )
+    index_build.add_argument(
+        "--walks", type=int, default=10_000,
+        help="stored walks per (hub, bucket) sketch (default 10000)",
+    )
+    index_build.add_argument(
+        "--t", type=float, action="append", default=[], metavar="T",
+        help=(
+            "heat-constant bucket for monte-carlo queries (repeatable; "
+            "default: 5.0 unless only --alpha buckets are given)"
+        ),
+    )
+    index_build.add_argument(
+        "--alpha", type=float, action="append", default=[], metavar="ALPHA",
+        help="restart-probability bucket for mc-ppr queries (repeatable)",
+    )
+    index_build.add_argument(
+        "--backend", default=None,
+        help="walk execution engine (default: process default)",
+    )
+    index_build.add_argument(
+        "--rng", type=int, default=0,
+        help="builder RNG seed (default 0, for reproducible builds)",
+    )
+    index_info = index_sub.add_parser(
+        "info", help="print the header and sketch layout of an .rwix container"
+    )
+    index_info.add_argument("path", help="path to an .rwix file")
+    index_info.add_argument(
+        "--json", action="store_true",
+        help="emit the summary as JSON (machine-readable; for CI/scripts)",
+    )
 
     experiment = subparsers.add_parser(
         "experiment", help="run one of the paper's experiments"
@@ -367,8 +457,13 @@ def _run_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_methods(_: argparse.Namespace) -> int:
+def _run_methods(args: argparse.Namespace) -> int:
     """Render the estimator registry: one row per method, then its schema."""
+    if getattr(args, "json", False):
+        import json
+
+        print(json.dumps({"methods": estimators.describe_methods()}, indent=2))
+        return 0
     rows = []
     for description in estimators.describe_methods():
         flags = [
@@ -490,6 +585,23 @@ def _run_graph(args: argparse.Namespace) -> int:
     graph = read_graph_binary(args.path, mmap=True)
     map_seconds = time.perf_counter() - started
     backing = graph.backing
+    if getattr(args, "json", False):
+        import json
+
+        print(
+            json.dumps(
+                {
+                    "file": args.path,
+                    "num_nodes": graph.num_nodes,
+                    "num_edges": graph.num_edges,
+                    "csr_bytes": graph.csr_nbytes,
+                    "sections": dict(backing["offsets"]),
+                    "mmap_ms": round(map_seconds * 1000, 3),
+                },
+                indent=2,
+            )
+        )
+        return 0
     print(f"file            : {args.path}")
     print(f"nodes / edges   : {graph.num_nodes} / {graph.num_edges}")
     print(f"csr bytes       : {graph.csr_nbytes}")
@@ -498,6 +610,111 @@ def _run_graph(args: argparse.Namespace) -> int:
         + ", ".join(
             f"{key}@{offset}" for key, offset in backing["offsets"].items()
         )
+    )
+    print(f"mmap time       : {map_seconds * 1000:.2f} ms")
+    return 0
+
+
+def _run_index(args: argparse.Namespace) -> int:
+    """``index build`` / ``index info``: the .rwix walk-sketch workflow."""
+    import time
+
+    from repro.index import WalkIndex, build_walk_index
+    from repro.service.registry import build_from_spec
+    from repro.utils.counters import OperationCounters
+
+    if args.index_command == "build":
+        started = time.perf_counter()
+        if args.edge_list:
+            graph, _ = load_edge_list(args.edge_list)
+            source = args.edge_list
+        elif args.dataset:
+            graph = load_dataset(args.dataset)
+            source = args.dataset
+        elif args.generate:
+            graph = build_from_spec(args.generate)
+            source = args.generate
+        else:
+            from repro.graph.binfmt import read_graph_binary
+
+            graph = read_graph_binary(args.binary, mmap=True)
+            source = args.binary
+        load_seconds = time.perf_counter() - started
+
+        seeds = None
+        if args.seeds is not None:
+            try:
+                seeds = [int(piece) for piece in args.seeds.split(",") if piece.strip()]
+            except ValueError:
+                raise ReproError(
+                    f"--seeds expects comma-separated node ids, got {args.seeds!r}"
+                ) from None
+        # --t defaults to the paper's t=5 bucket, but an alpha-only build
+        # should not drag a poisson bucket along implicitly.
+        t_values = args.t if args.t else ([] if args.alpha else [5.0])
+        if args.backend is not None:
+            get_backend(args.backend)
+
+        counters = OperationCounters()
+        started = time.perf_counter()
+        index = build_walk_index(
+            graph,
+            hubs=seeds,
+            num_hubs=args.hubs,
+            walks_per_sketch=args.walks,
+            t_values=t_values,
+            alpha_values=args.alpha,
+            backend=args.backend,
+            rng=args.rng,
+            counters=counters,
+        )
+        build_seconds = time.perf_counter() - started
+        path = index.to_file(args.output)
+        description = index.describe()
+        buckets = ", ".join(
+            f"{kind}={values}" for kind, values in description["buckets"].items()
+        )
+        print(f"indexed         : {source} -> {path}")
+        print(
+            f"sketches        : {description['sketches']} "
+            f"({description['nodes']} nodes x buckets {buckets})"
+        )
+        print(
+            f"stored walks    : {description['endpoints']} "
+            f"({args.walks} per sketch)"
+        )
+        print(f"file size       : {path.stat().st_size} bytes")
+        print(f"fingerprint     : {description['fingerprint']}")
+        print(
+            f"load / build    : {load_seconds:.2f}s / {build_seconds:.2f}s "
+            f"({counters.walk_steps} walk steps)"
+        )
+        print(f"serve with      : repro-cli serve ... --index {path}")
+        return 0
+
+    started = time.perf_counter()
+    index = WalkIndex.from_file(args.path, mmap=True)
+    map_seconds = time.perf_counter() - started
+    description = index.describe()
+    if getattr(args, "json", False):
+        import json
+
+        description["file"] = args.path
+        description["mmap_ms"] = round(map_seconds * 1000, 3)
+        print(json.dumps(description, indent=2))
+        return 0
+    buckets = ", ".join(
+        f"{kind}={values}" for kind, values in description["buckets"].items()
+    )
+    print(f"file            : {args.path}")
+    print(
+        f"sketches        : {description['sketches']} "
+        f"({description['nodes']} nodes x buckets {buckets})"
+    )
+    print(f"stored walks    : {description['endpoints']}")
+    print(
+        f"built for graph : n={description['graph_n']}, m={description['graph_m']}, "
+        f"fingerprint {description['fingerprint']}"
     )
     print(f"mmap time       : {map_seconds * 1000:.2f} ms")
     return 0
@@ -538,6 +755,20 @@ def build_service_from_args(args: argparse.Namespace):
         else:
             registry.add_generated(value, name=args.graph_name)
 
+    for index_spec in getattr(args, "index", []):
+        name, separator, path = index_spec.partition("=")
+        if separator and name in registry:
+            registry.attach_index(name, path)
+        else:
+            # No NAME= prefix (or the prefix is part of the path itself):
+            # the index targets the server's only graph.
+            if len(registry) != 1:
+                raise ReproError(
+                    "--index PATH requires exactly one graph source; with "
+                    "multiple graphs use --index NAME=PATH"
+                )
+            registry.attach_index(registry.names()[0], index_spec)
+
     default_timeout_ms = getattr(args, "default_timeout_ms", None)
     if default_timeout_ms is not None and default_timeout_ms <= 0:
         default_timeout_ms = None  # <= 0 disables the service default
@@ -565,11 +796,16 @@ def _run_serve(args: argparse.Namespace) -> int:
 
     print("repro query service")
     for entry in service.registry.describe():
+        index_note = (
+            f", index {entry['index_sketches']} sketches"
+            if "index_sketches" in entry
+            else ""
+        )
         print(
             f"graph           : {entry['name']} "
             f"(n={entry['num_nodes']}, m={entry['num_edges']}, "
             f"source {entry['source']}, storage {entry['storage']}, "
-            f"loaded in {entry['load_seconds']:.2f}s)"
+            f"loaded in {entry['load_seconds']:.2f}s{index_note})"
         )
     print(f"backend         : {service.backend.name}")
     print(f"walk workers    : {_worker_count_line()}")
@@ -625,6 +861,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "datasets": _run_datasets,
         "backends": _run_backends,
         "graph": _run_graph,
+        "index": _run_index,
         "experiment": _run_experiment,
         "serve": _run_serve,
     }

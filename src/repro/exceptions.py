@@ -28,6 +28,15 @@ class EmptyGraphError(GraphError):
     """Raised when an operation requires a non-empty graph."""
 
 
+class WalkIndexError(GraphError):
+    """Raised when a ``.rwix`` walk-sketch index is corrupt or stale.
+
+    A subclass of :class:`GraphError` because an index is derived data bound
+    to one specific graph: a bad container, a CRC mismatch, or an epoch
+    (fingerprint) mismatch all mean "this file cannot serve this graph".
+    """
+
+
 class ParameterError(ReproError):
     """Raised when an algorithm parameter is out of its valid range."""
 

@@ -1,0 +1,166 @@
+"""Offline walk-sketch index builder.
+
+Selects hub nodes (by degree, or from an explicit seed list), runs the
+existing walk kernels to generate ``W`` endpoint samples per hub per bucket,
+and assembles a :class:`~repro.index.walk_index.WalkIndex` ready to persist
+with :meth:`~repro.index.walk_index.WalkIndex.to_file`.
+
+Buckets mirror the two sampling estimators the service can route through
+the index:
+
+* a *t-bucket* stores endpoints of Poisson(t)-length walks — the law the
+  ``monte-carlo`` HKPR estimator samples from;
+* an *alpha-bucket* stores endpoints of geometric restart walks — the law
+  the ``mc-ppr`` estimator samples from.
+
+Determinism: given the same graph, hub set, walk counts, backend and seeded
+generator, the builder emits byte-identical arrays (walks for each sketch
+are generated in a fixed order from the single generator), so a rebuilt
+``.rwix`` file round-trips byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.engine import Backend, chunk_sizes
+from repro.engine.multi import WalkTask, run_walk_tasks
+from repro.exceptions import NodeNotFoundError, ParameterError
+from repro.graph.graph import Graph
+from repro.hkpr.poisson import PoissonWeights
+from repro.index import format as rwix
+from repro.index.walk_index import WalkIndex
+from repro.utils.counters import OperationCounters
+from repro.utils.rng import ensure_rng
+
+#: Default number of top-degree hubs to index.
+DEFAULT_NUM_HUBS = 64
+
+#: Default stored walks per (hub, bucket) sketch.
+DEFAULT_WALKS_PER_SKETCH = 10_000
+
+
+def select_hubs(graph: Graph, count: int) -> np.ndarray:
+    """The ``count`` highest-degree nodes, ties broken by lower node id.
+
+    Hot-seed traffic concentrates on high-degree nodes (and their walks are
+    the most expensive to regenerate), so degree is the default hub policy;
+    pass an explicit seed list to :func:`build_walk_index` to override.
+    """
+    if count < 1:
+        raise ParameterError(f"hub count must be >= 1, got {count}")
+    n = graph.num_nodes
+    count = min(count, n)
+    degrees = np.asarray(graph.degrees)
+    # lexsort's last key is primary: sort by descending degree, then by id.
+    order = np.lexsort((np.arange(n), -degrees))
+    return np.ascontiguousarray(order[:count], dtype=np.int64)
+
+
+def _check_nodes(graph: Graph, nodes: Sequence[int]) -> np.ndarray:
+    out: list[int] = []
+    seen: set[int] = set()
+    for node in nodes:
+        node = int(node)
+        if not 0 <= node < graph.num_nodes:
+            raise NodeNotFoundError(node, graph.num_nodes)
+        if node not in seen:
+            seen.add(node)
+            out.append(node)
+    if not out:
+        raise ParameterError("walk index needs at least one hub node")
+    return np.asarray(out, dtype=np.int64)
+
+
+def build_walk_index(
+    graph: Graph,
+    *,
+    hubs: Sequence[int] | None = None,
+    num_hubs: int = DEFAULT_NUM_HUBS,
+    walks_per_sketch: int = DEFAULT_WALKS_PER_SKETCH,
+    t_values: Sequence[float] = (5.0,),
+    alpha_values: Sequence[float] = (),
+    backend: str | Backend | None = None,
+    rng: np.random.Generator | int | None = 0,
+    counters: OperationCounters | None = None,
+) -> WalkIndex:
+    """Precompute endpoint sketches and return the in-memory index.
+
+    ``rng`` defaults to seed 0 so an ``index build`` is reproducible unless
+    the caller explicitly asks for entropy (``rng=None``).  ``counters``
+    (optional) accumulates the offline walk accounting.
+    """
+    if walks_per_sketch < 1:
+        raise ParameterError(
+            f"walks_per_sketch must be >= 1, got {walks_per_sketch}"
+        )
+    if not t_values and not alpha_values:
+        raise ParameterError(
+            "walk index needs at least one bucket (a t value or an alpha value)"
+        )
+    hub_nodes = (
+        _check_nodes(graph, hubs) if hubs is not None else select_hubs(graph, num_hubs)
+    )
+    generator = ensure_rng(rng)
+
+    # One bucket per (law, parameter); sketches are laid out bucket-major,
+    # hub-minor, in a fixed order so builds are reproducible.
+    buckets: list[tuple[int, float]] = []
+    weights_cache: dict[float, PoissonWeights] = {}
+    for t in t_values:
+        weights = PoissonWeights(float(t))  # validates t > 0
+        buckets.append((rwix.KIND_POISSON, weights.t))
+        weights_cache[weights.t] = weights
+    for alpha in alpha_values:
+        alpha = float(alpha)
+        if not 0.0 < alpha < 1.0:
+            raise ParameterError(f"alpha must be in (0, 1), got {alpha}")
+        buckets.append((rwix.KIND_GEOMETRIC, alpha))
+    if len(set(buckets)) != len(buckets):
+        raise ParameterError("duplicate index buckets")
+
+    nodes_out: list[int] = []
+    kinds_out: list[int] = []
+    buckets_out: list[float] = []
+    sketch_ends: list[np.ndarray] = []
+    for kind, bucket in buckets:
+        for hub in hub_nodes:
+            tasks = []
+            for batch in chunk_sizes(walks_per_sketch):
+                starts = np.full(batch, int(hub), dtype=np.int64)
+                if kind == rwix.KIND_POISSON:
+                    tasks.append(
+                        WalkTask("poisson", starts, weights=weights_cache[bucket])
+                    )
+                else:
+                    tasks.append(WalkTask("geometric", starts, alpha=bucket))
+            ends = run_walk_tasks(
+                backend,
+                graph,
+                tasks,
+                generator,
+                counters_list=[counters] * len(tasks) if counters else None,
+            )
+            nodes_out.append(int(hub))
+            kinds_out.append(kind)
+            buckets_out.append(bucket)
+            sketch_ends.append(np.concatenate(ends) if len(ends) > 1 else ends[0])
+
+    counts = np.asarray([ends.size for ends in sketch_ends], dtype=np.int64)
+    ptr = np.zeros(len(sketch_ends) + 1, dtype=np.int64)
+    np.cumsum(counts, out=ptr[1:])
+    endpoints = (
+        np.concatenate(sketch_ends) if sketch_ends else np.zeros(0, dtype=np.int64)
+    )
+    return WalkIndex(
+        nodes=np.asarray(nodes_out, dtype=np.int64),
+        kinds=np.asarray(kinds_out, dtype=np.int64),
+        buckets=np.asarray(buckets_out, dtype=np.float64),
+        ptr=ptr,
+        endpoints=np.ascontiguousarray(endpoints, dtype=np.int64),
+        graph_n=graph.num_nodes,
+        graph_m=graph.num_edges,
+        fingerprint=rwix.graph_fingerprint(graph),
+    )

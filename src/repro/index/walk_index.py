@@ -1,0 +1,199 @@
+"""In-memory walk-sketch index: lookup table over a ``.rwix`` container.
+
+:class:`WalkIndex` wraps the flat ``.rwix`` arrays with an O(1) lookup from
+``(walk law, node, bucket)`` to a stored endpoint sketch, plus the serving
+counters (hits, misses, walks served) that ``GET /stats`` reports.  It is
+the object a :class:`~repro.service.registry.GraphRegistry` attaches to a
+graph entry and the planner consults per query.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import WalkIndexError
+from repro.graph.graph import Graph
+from repro.index import format as rwix
+
+#: Walk-law names accepted by :meth:`WalkIndex.lookup`.
+KNOWN_KINDS = frozenset(rwix.KIND_CODES)
+
+
+class WalkIndex:
+    """Precomputed random-walk endpoint sketches for one specific graph.
+
+    The index is immutable once constructed; only the serving counters
+    mutate, behind a lock, so a single instance is safe to share across the
+    service's handler threads.
+    """
+
+    def __init__(
+        self,
+        *,
+        nodes: np.ndarray,
+        kinds: np.ndarray,
+        buckets: np.ndarray,
+        ptr: np.ndarray,
+        endpoints: np.ndarray,
+        graph_n: int,
+        graph_m: int,
+        fingerprint: int,
+        backing: dict | None = None,
+    ) -> None:
+        self._nodes = nodes
+        self._kinds = kinds
+        self._buckets = buckets
+        self._ptr = ptr
+        self._endpoints = endpoints
+        self.graph_n = int(graph_n)
+        self.graph_m = int(graph_m)
+        self.fingerprint = int(fingerprint)
+        self.backing = backing or {"kind": "memory"}
+        # (kind code, node, bucket) -> (start, stop) into the endpoint array.
+        self._table: dict[tuple[int, int, float], tuple[int, int]] = {}
+        for i in range(nodes.shape[0]):
+            key = (int(kinds[i]), int(nodes[i]), float(buckets[i]))
+            self._table[key] = (int(ptr[i]), int(ptr[i + 1]))
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._walks_served = 0
+
+    # -- construction -------------------------------------------------
+
+    @classmethod
+    def from_file(cls, path: str | Path, *, mmap: bool = True) -> "WalkIndex":
+        """Load a ``.rwix`` container (memory-mapped by default)."""
+        data = rwix.read_index_file(path, mmap=mmap)
+        return cls(
+            nodes=data["nodes"],
+            kinds=data["kinds"],
+            buckets=data["buckets"],
+            ptr=data["ptr"],
+            endpoints=data["endpoints"],
+            graph_n=data["graph_n"],
+            graph_m=data["graph_m"],
+            fingerprint=data["fingerprint"],
+            backing=data["backing"],
+        )
+
+    def to_file(self, path: str | Path) -> Path:
+        """Serialize this index to ``path`` in the ``.rwix`` format."""
+        return rwix.write_index_file(
+            path,
+            graph_n=self.graph_n,
+            graph_m=self.graph_m,
+            fingerprint=self.fingerprint,
+            nodes=self._nodes,
+            kinds=self._kinds,
+            buckets=self._buckets,
+            ptr=self._ptr,
+            endpoints=self._endpoints,
+        )
+
+    # -- epoch / staleness contract -----------------------------------
+
+    def verify_graph(self, graph: Graph) -> None:
+        """Refuse to serve a graph the index was not built for.
+
+        Stored sketches are samples from *this graph's* walk distributions;
+        serving them against any other graph silently answers the wrong
+        question, so shape or fingerprint drift is a hard error.
+        """
+        if (graph.num_nodes, graph.num_edges) != (self.graph_n, self.graph_m):
+            raise WalkIndexError(
+                "stale walk index: built for a graph with "
+                f"n={self.graph_n}, m={self.graph_m} but the attached graph "
+                f"has n={graph.num_nodes}, m={graph.num_edges}"
+            )
+        fingerprint = rwix.graph_fingerprint(graph)
+        if fingerprint != self.fingerprint:
+            raise WalkIndexError(
+                "stale walk index: graph content fingerprint "
+                f"{fingerprint:#018x} does not match the index's "
+                f"{self.fingerprint:#018x} (the graph changed since "
+                "`index build` — rebuild the index)"
+            )
+
+    # -- serving -------------------------------------------------------
+
+    def lookup(
+        self, kind: str, node: int, bucket: float, *, max_walks: int | None = None
+    ) -> np.ndarray | None:
+        """Stored endpoints for ``(kind, node, bucket)``, or ``None``.
+
+        Records a hit or miss; on a hit, at most ``max_walks`` endpoints are
+        returned (a prefix — stored sketches are i.i.d. draws, so any
+        subset is a valid sample) and the count served is accumulated into
+        ``walks_served``.
+        """
+        if kind not in rwix.KIND_CODES:
+            raise WalkIndexError(f"unknown walk-law kind {kind!r}")
+        span = self._table.get((rwix.KIND_CODES[kind], int(node), float(bucket)))
+        if span is None:
+            with self._lock:
+                self._misses += 1
+            return None
+        start, stop = span
+        if max_walks is not None:
+            stop = min(stop, start + max(0, int(max_walks)))
+        served = stop - start
+        with self._lock:
+            self._hits += 1
+            self._walks_served += served
+        return np.asarray(self._endpoints[start:stop])
+
+    def sketch_size(self, kind: str, node: int, bucket: float) -> int:
+        """Stored walk count for a sketch (0 if absent); no counters touched."""
+        span = self._table.get(
+            (rwix.KIND_CODES.get(kind, -1), int(node), float(bucket))
+        )
+        return 0 if span is None else span[1] - span[0]
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def num_sketches(self) -> int:
+        return self._nodes.shape[0]
+
+    @property
+    def total_endpoints(self) -> int:
+        return int(self._endpoints.shape[0])
+
+    def indexed_nodes(self) -> list[int]:
+        """Distinct node ids with at least one sketch (sorted)."""
+        return sorted({int(node) for node in self._nodes})
+
+    def describe(self) -> dict:
+        """Static metadata (for ``repro-cli index info`` and ``/stats``)."""
+        buckets: dict[str, list[float]] = {}
+        for code, name in rwix.KIND_NAMES.items():
+            values = np.unique(self._buckets[self._kinds == code])
+            if values.size:
+                buckets[name] = [float(v) for v in values]
+        return {
+            "sketches": self.num_sketches,
+            "nodes": len({int(node) for node in self._nodes}),
+            "endpoints": self.total_endpoints,
+            "buckets": buckets,
+            "graph_n": self.graph_n,
+            "graph_m": self.graph_m,
+            "fingerprint": f"{self.fingerprint:#018x}",
+            "storage": self.backing.get("kind", "memory"),
+        }
+
+    def stats(self) -> dict:
+        """Serving counters plus the static description."""
+        with self._lock:
+            hits, misses, walks = self._hits, self._misses, self._walks_served
+        total = hits + misses
+        return {
+            **self.describe(),
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": hits / total if total else 0.0,
+            "walks_from_index": walks,
+        }

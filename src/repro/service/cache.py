@@ -21,6 +21,12 @@ insert): a pinned seed asks for *that specific stream's* result, which a
 cache hit from a different stream would silently violate.  The bypass is
 enforced by the planner, not here.
 
+An optional ``group_of`` callable partitions the counters: every hit, miss,
+eviction and expiration is also attributed to ``group_of(key)``, and
+``stats()`` gains a ``per_group`` breakdown.  The service groups by graph
+name (the first component of the cache key), which is what ``GET /stats``
+reports as per-graph cache counters.
+
 The clock is injectable for deterministic TTL tests.
 """
 
@@ -43,6 +49,7 @@ class ResultCache:
         *,
         ttl_seconds: float | None = None,
         clock: Callable[[], float] = time.monotonic,
+        group_of: Callable[[Hashable], str] | None = None,
     ) -> None:
         if max_entries < 1:
             raise ParameterError(f"max_entries must be >= 1, got {max_entries}")
@@ -53,29 +60,51 @@ class ResultCache:
         self._max_entries = max_entries
         self._ttl = ttl_seconds
         self._clock = clock
+        self._group_of = group_of
         self._lock = threading.Lock()
         self._entries: "OrderedDict[Hashable, tuple[float, Any]]" = OrderedDict()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
         self._expirations = 0
+        self._groups: dict[str, dict[str, int]] = {}
+
+    def _group_counters(self, key: Hashable) -> dict[str, int] | None:
+        """The per-group counter dict for ``key`` (caller holds the lock)."""
+        if self._group_of is None:
+            return None
+        group = self._group_of(key)
+        counters = self._groups.get(group)
+        if counters is None:
+            counters = self._groups[group] = {
+                "hits": 0, "misses": 0, "evictions": 0, "expirations": 0,
+            }
+        return counters
 
     def get(self, key: Hashable) -> Any | None:
         """The cached value for ``key``, or ``None`` (miss or expired)."""
         now = self._clock()
         with self._lock:
+            group = self._group_counters(key)
             entry = self._entries.get(key)
             if entry is None:
                 self._misses += 1
+                if group is not None:
+                    group["misses"] += 1
                 return None
             stored_at, value = entry
             if self._ttl is not None and now - stored_at > self._ttl:
                 del self._entries[key]
                 self._expirations += 1
                 self._misses += 1
+                if group is not None:
+                    group["expirations"] += 1
+                    group["misses"] += 1
                 return None
             self._entries.move_to_end(key)
             self._hits += 1
+            if group is not None:
+                group["hits"] += 1
             return value
 
     def put(self, key: Hashable, value: Any) -> None:
@@ -86,8 +115,11 @@ class ResultCache:
                 self._entries.move_to_end(key)
             self._entries[key] = (now, value)
             while len(self._entries) > self._max_entries:
-                self._entries.popitem(last=False)
+                evicted_key, _ = self._entries.popitem(last=False)
                 self._evictions += 1
+                evicted_group = self._group_counters(evicted_key)
+                if evicted_group is not None:
+                    evicted_group["evictions"] += 1
 
     def invalidate(self, key: Hashable) -> bool:
         """Drop ``key``; returns whether it was present."""
@@ -103,11 +135,11 @@ class ResultCache:
         with self._lock:
             return len(self._entries)
 
-    def stats(self) -> dict[str, float | int | None]:
+    def stats(self) -> dict[str, Any]:
         """JSON-able counters, including the derived hit rate."""
         with self._lock:
             hits, misses = self._hits, self._misses
-            return {
+            stats: dict[str, Any] = {
                 "entries": len(self._entries),
                 "max_entries": self._max_entries,
                 "ttl_seconds": self._ttl,
@@ -117,3 +149,9 @@ class ResultCache:
                 "evictions": self._evictions,
                 "expirations": self._expirations,
             }
+            if self._group_of is not None:
+                stats["per_group"] = {
+                    group: dict(counters)
+                    for group, counters in sorted(self._groups.items())
+                }
+            return stats

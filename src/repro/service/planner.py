@@ -191,10 +191,21 @@ def normalize_request(
 
 
 def estimate_walks(entry: GraphEntry, request: QueryRequest) -> int:
-    """Admission-control estimate of the walks ``request`` will run."""
-    return SERVICE_METHODS[request.method].estimate_walks(
-        entry.graph, request.params
-    )
+    """Admission-control estimate of the *online* walks ``request`` will run.
+
+    When the graph entry carries a walk-sketch index that covers part of an
+    unpinned sampling request, only the fresh top-up counts against the
+    in-flight walk budget — stored endpoints cost no online sampling.
+    """
+    spec = SERVICE_METHODS[request.method]
+    estimated = spec.estimate_walks(entry.graph, request.params)
+    if entry.index is not None and not request.pinned and estimated > 0:
+        from repro.index.combine import stored_walks_for
+
+        estimated -= stored_walks_for(
+            entry.index, entry.graph, spec, request.seed_node, request.params
+        )
+    return estimated
 
 
 def walk_estimate_is_tight(request: QueryRequest) -> bool:
@@ -220,8 +231,28 @@ def build_plan(entry: GraphEntry, request: QueryRequest, *, deadline=None):
     function, which builds its own (small) Poisson table per query.
     ``deadline`` (when given) is threaded into deadline-aware estimators'
     push loops, so unbounded plan-construction work trips it too.
+
+    When the graph entry carries a walk-sketch index, *unpinned* sampling
+    requests (``monte-carlo`` / ``mc-ppr``) are routed through the index
+    combiner first: a sketch hit replaces stored walks one-for-one and only
+    the top-up is sampled online.  Pinned requests bypass the index — their
+    contract is byte-reproducible endpoints from the request's own
+    generator, which stored shared-sketch endpoints cannot honor.
     """
     rng = ensure_rng(request.rng) if request.pinned else ensure_rng(None)
+    if entry.index is not None and not request.pinned:
+        from repro.index.combine import plan_from_index
+
+        plan = plan_from_index(
+            entry.index,
+            entry.graph,
+            SERVICE_METHODS[request.method],
+            request.seed_node,
+            request.params,
+            weights_for=entry.poisson_weights,
+        )
+        if plan is not None:
+            return plan, rng
     plan = SERVICE_METHODS[request.method].build_plan(
         entry.graph,
         request.seed_node,

@@ -124,6 +124,9 @@ class GraphEntry:
     storage: str = "in-memory"
     #: Wall-clock seconds spent building / loading the graph.
     load_seconds: float = 0.0
+    #: Optional precomputed walk-sketch index (``.rwix``), attached via
+    #: :meth:`GraphRegistry.attach_index` after it passes ``verify_graph``.
+    index: object | None = None
     _weights: dict[float, PoissonWeights] = field(default_factory=dict)
 
     def poisson_weights(self, t: float) -> PoissonWeights:
@@ -135,7 +138,7 @@ class GraphEntry:
 
     def describe(self) -> dict:
         """JSON-able summary for the ``/graphs`` endpoint."""
-        return {
+        summary = {
             "name": self.name,
             "source": self.source,
             "storage": self.storage,
@@ -147,6 +150,9 @@ class GraphEntry:
             if self.graph.num_nodes
             else 0.0,
         }
+        if self.index is not None:
+            summary["index_sketches"] = self.index.num_sketches
+        return summary
 
 
 class GraphRegistry:
@@ -246,6 +252,27 @@ class GraphRegistry:
             storage="generated",
             load_seconds=time.perf_counter() - started,
         )
+
+    def attach_index(
+        self, name: str, index: "object | str | Path", *, mmap: bool = True
+    ) -> GraphEntry:
+        """Attach a walk-sketch index to the graph registered as ``name``.
+
+        ``index`` is a :class:`~repro.index.walk_index.WalkIndex` or a path
+        to a ``.rwix`` file (memory-mapped by default).  The index must pass
+        the epoch contract (``verify_graph``) against the registered graph —
+        a stale or mismatched index raises
+        :class:`~repro.exceptions.WalkIndexError` rather than silently
+        serving samples from the wrong distribution.
+        """
+        entry = self.get(name)
+        if isinstance(index, (str, Path)):
+            from repro.index import WalkIndex
+
+            index = WalkIndex.from_file(index, mmap=mmap)
+        index.verify_graph(entry.graph)
+        entry.index = index
+        return entry
 
     def get(self, name: str) -> GraphEntry:
         """The entry for ``name``; :class:`ServiceError` when unknown."""

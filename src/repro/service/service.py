@@ -233,7 +233,14 @@ class QueryService:
         self._rng = ensure_rng(rng)
         self.telemetry = Telemetry()
         self.cache: ResultCache | None = (
-            ResultCache(cache_entries, ttl_seconds=cache_ttl_seconds)
+            # Cache keys start with the graph name (see
+            # QueryRequest.cache_key), so grouping by key[0] yields the
+            # per-graph hit/miss/eviction breakdown /stats reports.
+            ResultCache(
+                cache_entries,
+                ttl_seconds=cache_ttl_seconds,
+                group_of=lambda key: str(key[0]),
+            )
             if cache_entries > 0
             else None
         )
@@ -374,9 +381,36 @@ class QueryService:
         return self.submit(*args, **kwargs).result(timeout=timeout)
 
     def stats(self) -> dict:
-        """Telemetry + cache + queue metrics (the ``/stats`` payload)."""
+        """Telemetry + cache + queue + index metrics (the ``/stats`` payload)."""
         snapshot = self.telemetry.snapshot()
-        snapshot["cache"] = self.cache.stats() if self.cache is not None else None
+        if self.cache is not None:
+            cache_stats = self.cache.stats()
+            # The cache groups by graph name; present that as "per_graph".
+            cache_stats["per_graph"] = cache_stats.pop("per_group", {})
+            snapshot["cache"] = cache_stats
+        else:
+            snapshot["cache"] = None
+        index_graphs = {}
+        for name in self.registry.names():
+            index = self.registry.get(name).index
+            if index is not None:
+                index_graphs[name] = index.stats()
+        if index_graphs:
+            hits = sum(info["hits"] for info in index_graphs.values())
+            misses = sum(info["misses"] for info in index_graphs.values())
+            snapshot["index"] = {
+                "graphs": index_graphs,
+                "hits": hits,
+                "misses": misses,
+                "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+                # Walks the service did not sample online because a stored
+                # sketch covered them — the headline "walks saved" number.
+                "walks_from_index": sum(
+                    info["walks_from_index"] for info in index_graphs.values()
+                ),
+            }
+        else:
+            snapshot["index"] = None
         snapshot["queue"] = {
             "pending": self._batcher.pending(),
             "max_batch": self._batcher.max_batch,
