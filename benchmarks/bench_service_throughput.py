@@ -53,6 +53,8 @@ MAX_BATCH = 64
 CONCURRENCY_LEVELS = (1, 2, 4, 8, 16, 32)
 QUERIES_PER_LEVEL = 640
 MIN_SPEEDUP = 2.0
+#: Acceptance gate on the observability layer's throughput cost.
+OBS_OVERHEAD_MAX = 0.05
 
 GRAPH_NAME = "bench-100k"
 
@@ -242,6 +244,80 @@ def test_service_throughput(results_dir):
         f"micro-batched serving peaks at {best['speedup']:.2f}x sequential "
         f"dispatch at concurrency {best['concurrency']} "
         f"(required: {MIN_SPEEDUP}x at some concurrency >= 8): {levels}"
+    )
+
+
+def test_observability_overhead(results_dir):
+    """Tracing + metrics + kernel profiling cost < 5% of serving QPS.
+
+    Runs the same closed-loop workload through two otherwise identical
+    services, alternating observability on (the default) and off (the
+    ``REPRO_DISABLE_OBS`` switch the programmatic override mirrors), and
+    takes the best of three runs per mode so scheduler noise on shared
+    runners cannot manufacture overhead.  The section is merged into
+    ``BENCH_service_throughput.json`` next to the batching results.
+    """
+    from repro import obs
+
+    degrees = power_law_degree_sequence(30_000, 2.5, 2, 120, seed=13)
+    graph = chung_lu_graph(degrees, seed=13, connected=False)
+    registry = GraphRegistry()
+    registry.add_graph("obs-30k", graph)
+
+    runs: dict[str, list[float]] = {"enabled": [], "disabled": []}
+    try:
+        for round_index in range(3):
+            for mode, flag in (("enabled", True), ("disabled", False)):
+                obs.set_obs_enabled(flag)
+                with make_service(registry, max_batch=MAX_BATCH) as service:
+                    # Unrecorded warm-up: kernel JIT, allocator and page-cache
+                    # state; without it the first round measures compilation.
+                    closed_loop_throughput(
+                        service, "obs-30k", graph.num_nodes,
+                        concurrency=8, total_queries=QUERIES_PER_LEVEL // 2,
+                    )
+                    measured = closed_loop_throughput(
+                        service, "obs-30k", graph.num_nodes,
+                        concurrency=8, total_queries=QUERIES_PER_LEVEL,
+                    )
+                runs[mode].append(measured["qps"])
+    finally:
+        obs.set_obs_enabled(None)
+
+    qps_on = max(runs["enabled"])
+    qps_off = max(runs["disabled"])
+    overhead = (qps_off - qps_on) / qps_off if qps_off else 0.0
+    section = {
+        "graph": {"n": graph.num_nodes, "m": graph.num_edges},
+        "workload": {
+            "method": "monte-carlo", "t": HEAT_T, "num_walks": NUM_WALKS,
+            "concurrency": 8, "queries_per_run": QUERIES_PER_LEVEL,
+            "runs_per_mode": 3,
+        },
+        "qps_enabled": qps_on,
+        "qps_disabled": qps_off,
+        "qps_enabled_runs": runs["enabled"],
+        "qps_disabled_runs": runs["disabled"],
+        "overhead": round(overhead, 4),
+        "gate": OBS_OVERHEAD_MAX,
+    }
+
+    path = results_dir / "BENCH_service_throughput.json"
+    payload = (
+        json.loads(path.read_text())
+        if path.exists()
+        else {"benchmark": "service_throughput", "mode": "in-process"}
+    )
+    payload["observability_overhead"] = section
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(
+        f"\nobservability overhead: {overhead * 100:.2f}% "
+        f"({qps_on:.0f} qps on vs {qps_off:.0f} qps off)  [saved to {path}]"
+    )
+
+    assert overhead < OBS_OVERHEAD_MAX, (
+        f"observability costs {overhead * 100:.1f}% QPS "
+        f"({qps_on:.0f} vs {qps_off:.0f}); gate is {OBS_OVERHEAD_MAX * 100:.0f}%"
     )
 
 

@@ -54,6 +54,7 @@ Examples
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from collections.abc import Sequence
@@ -234,6 +235,46 @@ def build_parser() -> argparse.ArgumentParser:
             "see `repro-cli index build`).  PATH alone requires a single "
             "registered graph; NAME=PATH targets one of several"
         ),
+    )
+    serve.add_argument(
+        "--metrics", action=argparse.BooleanOptionalAction, default=True,
+        help="expose the Prometheus text exposition at GET /metrics "
+        "(default on; --no-metrics disables the endpoint only — "
+        "collection continues unless --disable-obs)",
+    )
+    serve.add_argument(
+        "--slow-query-ms", type=float, default=1000.0,
+        help="queries slower than this are appended to the slow-query "
+        "JSONL log; <= 0 disables the log (default 1000)",
+    )
+    serve.add_argument(
+        "--slow-query-log", default=None, metavar="PATH",
+        help="slow-query JSONL destination (default: stderr)",
+    )
+    serve.add_argument(
+        "--trace-ring", type=int, default=256,
+        help="recent query traces kept for GET /trace/recent (default 256)",
+    )
+    serve.add_argument(
+        "--disable-obs", action="store_true",
+        help="turn off all observability (metrics recording, tracing, "
+        "engine profiling hooks) for this process",
+    )
+
+    trace = subparsers.add_parser(
+        "trace", help="inspect query traces (e.g. a slow-query JSONL log)"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_summarize = trace_sub.add_parser(
+        "summarize",
+        help="aggregate a trace JSONL file into per-phase latency shares",
+    )
+    trace_summarize.add_argument(
+        "path", help="trace JSONL file (e.g. a --slow-query-log output)"
+    )
+    trace_summarize.add_argument(
+        "--json", action="store_true",
+        help="emit the summary as JSON (machine-readable; for CI/scripts)",
     )
 
     graph = subparsers.add_parser(
@@ -773,6 +814,14 @@ def build_service_from_args(args: argparse.Namespace):
     if default_timeout_ms is not None and default_timeout_ms <= 0:
         default_timeout_ms = None  # <= 0 disables the service default
 
+    if getattr(args, "disable_obs", False):
+        from repro import obs
+
+        obs.set_obs_enabled(False)
+    slow_query_ms = getattr(args, "slow_query_ms", None)
+    if slow_query_ms is not None and slow_query_ms <= 0:
+        slow_query_ms = None  # <= 0 disables the slow-query log
+
     return QueryService(
         registry,
         backend=args.backend,
@@ -784,6 +833,9 @@ def build_service_from_args(args: argparse.Namespace):
         cache_ttl_seconds=args.cache_ttl,
         default_timeout_ms=default_timeout_ms,
         rng=args.rng,
+        trace_capacity=getattr(args, "trace_ring", 256),
+        slow_query_ms=slow_query_ms,
+        slow_query_log=getattr(args, "slow_query_log", None),
     )
 
 
@@ -791,7 +843,7 @@ def _run_serve(args: argparse.Namespace) -> int:
     from repro.service.http import make_server
 
     service = build_service_from_args(args)
-    server = make_server(service, args.host, args.port)
+    server = make_server(service, args.host, args.port, metrics_enabled=args.metrics)
     service.start()
 
     print("repro query service")
@@ -824,8 +876,25 @@ def _run_serve(args: argparse.Namespace) -> int:
         else f"{service.default_timeout_ms:g}ms"
     )
     print(f"default deadline: {timeout} (override per request with timeout_ms)")
+    from repro import obs
+
+    if not obs.enabled():
+        obs_line = "disabled"
+    else:
+        slow = (
+            f"slow-query log at {args.slow_query_log or 'stderr'} "
+            f"(> {args.slow_query_ms:g}ms)"
+            if args.slow_query_ms and args.slow_query_ms > 0
+            else "slow-query log off"
+        )
+        metrics_note = "/metrics on" if args.metrics else "/metrics off"
+        obs_line = f"{metrics_note}, trace ring {args.trace_ring}, {slow}"
+    print(f"observability   : {obs_line}")
     print(f"listening on    : http://{args.host}:{server.server_address[1]}")
-    print("endpoints       : POST /query   GET /stats /graphs /methods /healthz")
+    print(
+        "endpoints       : POST /query   GET /stats /metrics /trace/recent "
+        "/graphs /methods /healthz"
+    )
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
@@ -834,6 +903,49 @@ def _run_serve(args: argparse.Namespace) -> int:
         server.shutdown()
         server.server_close()
         service.stop()
+    return 0
+
+
+def _run_trace(args: argparse.Namespace) -> int:
+    from repro.obs import load_jsonl, summarize
+
+    records = load_jsonl(args.path)
+    summary = summarize(records)
+    if args.json:
+        print(json.dumps(summary, indent=2))
+        return 0
+    print(f"trace summary: {args.path}")
+    print(
+        f"traces          : {summary['traces']} "
+        f"(mean latency {summary['mean_latency_ms']:.3f}ms)"
+    )
+    if summary["outcomes"]:
+        outcomes = ", ".join(
+            f"{name}={count}" for name, count in sorted(summary["outcomes"].items())
+        )
+        print(f"outcomes        : {outcomes}")
+    if summary["methods"]:
+        methods = ", ".join(
+            f"{name}={count}" for name, count in sorted(summary["methods"].items())
+        )
+        print(f"methods         : {methods}")
+    if summary["phases"]:
+        print("phases (total time, share of end-to-end latency):")
+        for name, phase in summary["phases"].items():
+            print(
+                f"  {name:<14} {phase['total_ms']:>10.3f}ms total  "
+                f"{phase['mean_ms']:>8.3f}ms mean  "
+                f"{phase['max_ms']:>8.3f}ms max  "
+                f"{phase['share_of_latency'] * 100:5.1f}%  "
+                f"(n={phase['count']})"
+            )
+    if summary["slowest"]:
+        slow = summary["slowest"]
+        print(
+            f"slowest         : trace {slow['trace_id']} "
+            f"{slow.get('method')} on {slow.get('graph')} "
+            f"({slow.get('latency_ms')}ms, outcome {slow.get('outcome')})"
+        )
     return 0
 
 
@@ -864,6 +976,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "index": _run_index,
         "experiment": _run_experiment,
         "serve": _run_serve,
+        "trace": _run_trace,
     }
     try:
         return handlers[args.command](args)

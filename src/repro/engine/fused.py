@@ -37,12 +37,14 @@ service keeps seed-pinned requests on the unfused task route.
 from __future__ import annotations
 
 import os
+import time
 from collections.abc import Sequence
 from contextlib import contextmanager
 from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
+from repro import obs
 from repro.engine import Backend, as_int_array, get_backend
 from repro.exceptions import ParameterError
 from repro.utils.counters import OperationCounters
@@ -373,9 +375,33 @@ def run_fused_queries(
             want_steps = counters_list is not None and any(
                 counters_list[i] is not None for i, _ in slices
             )
+            obs_on = obs.enabled()
+            kernel_started = time.perf_counter() if obs_on else 0.0
             ends, step_counts = engine.fused_push_walk(
                 graph, group, rng, want_steps=want_steps
             )
+            if obs_on:
+                # The fused kernel serves several queries in one pass, so
+                # its wall time is split back out proportionally by each
+                # query's walk share (kernel cost is per-walk to first
+                # order); the registry series keeps the unsplit total.
+                elapsed = time.perf_counter() - kernel_started
+                obs.record_kernel(
+                    getattr(engine, "name", "backend"),
+                    f"fused-{group.kind}",
+                    group.total_walks,
+                    elapsed,
+                )
+                if counters_list is not None and group.total_walks:
+                    for index, take in slices:
+                        slice_counters = counters_list[index]
+                        if slice_counters is None:
+                            continue
+                        share = elapsed * take / group.total_walks
+                        slice_counters.extras["kernel_seconds"] = (
+                            float(slice_counters.extras.get("kernel_seconds", 0.0))
+                            + share
+                        )
             if ends.shape != (group.total_walks,):
                 raise ParameterError(
                     f"fused backend returned {ends.shape} endpoints for "

@@ -33,6 +33,7 @@ carrying an explicit seed.
 
 from __future__ import annotations
 
+import time
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Protocol, runtime_checkable
@@ -175,6 +176,13 @@ def _attribute_counters(
         ]
         shares.append(scratch.walk_steps - sum(shares))
 
+    # Kernel wall time (recorded by the backend's profiling hook into the
+    # shared scratch counters) is per-walk cost to first order: split it
+    # proportionally by task size instead of letting the generic
+    # setdefault copy below hand every task the full group total.
+    scratch_extras = dict(scratch.extras)
+    kernel_seconds = scratch_extras.pop("kernel_seconds", None)
+
     for i, task_counters in enumerate(counters):
         if task_counters is None:
             continue
@@ -187,7 +195,12 @@ def _attribute_counters(
             steps = shares[i]
             task_counters.extras["walk_steps_attribution"] = "proportional"
         task_counters.walk_steps += steps
-        for key, value in scratch.extras.items():
+        if kernel_seconds is not None:
+            share = kernel_seconds * sizes[i] / total if total else 0.0
+            task_counters.extras["kernel_seconds"] = (
+                float(task_counters.extras.get("kernel_seconds", 0.0)) + share
+            )
+        for key, value in scratch_extras.items():
             task_counters.extras.setdefault(key, value)
         if len(tasks) > 1:
             task_counters.extras["fused_tasks"] = len(tasks)
@@ -305,6 +318,7 @@ def execute_plans(
     rng: np.random.Generator,
     *,
     deadline: Deadline | None = None,
+    traces: "Sequence | None" = None,
 ) -> list[Any]:
     """Run every plan's walk phase as fused batches and finalize each plan.
 
@@ -325,11 +339,32 @@ def execute_plans(
     The optional ``deadline`` applies to the whole batch: it is checkpointed
     between kernel calls on both paths, and tripping it abandons the entire
     remaining batch (the service passes the batch's latest member deadline).
+
+    ``traces`` (when given) must align with ``plans``; entries may be
+    ``None``.  Each plan's trace receives a ``kernel`` span covering the
+    wall time its walks spent in kernel calls (for fused groups, the whole
+    shared call — each member really did wait that long) and a ``finalize``
+    span around its own result assembly.
     """
     from repro.engine.fused import fusion_enabled, run_fused_queries, supports_fused
 
     engine = get_backend(backend)
     fuse = fusion_enabled() and supports_fused(engine)
+    if traces is not None and len(traces) != len(plans):
+        raise ParameterError(
+            f"traces length {len(traces)} != number of plans {len(plans)}"
+        )
+
+    def _trace(index: int):
+        return traces[index] if traces is not None else None
+
+    def _finalize(index: int, endpoints_slice) -> Any:
+        trace = _trace(index)
+        started = time.perf_counter()
+        result = plans[index].finalize(endpoints_slice)
+        if trace is not None:
+            trace.add_span("finalize", started, time.perf_counter())
+        return result
 
     results: list[Any] = [None] * len(plans)
     fused_queries: list[Any] = []
@@ -348,12 +383,20 @@ def execute_plans(
         fused_spans.append((index, start, len(fused_queries)))
 
     if fused_spans:
+        kernel_started = time.perf_counter()
         endpoints = run_fused_queries(
             engine, graph, fused_queries, rng, counters_list=fused_counters,
             deadline=deadline,
         )
+        kernel_ended = time.perf_counter()
         for index, start, stop in fused_spans:
-            results[index] = plans[index].finalize(endpoints[start:stop])
+            trace = _trace(index)
+            if trace is not None:
+                trace.add_span(
+                    "kernel", kernel_started, kernel_ended,
+                    backend=getattr(engine, "name", "backend"), fused=True,
+                )
+            results[index] = _finalize(index, endpoints[start:stop])
 
     if task_indices:
         tasks: list[WalkTask] = []
@@ -365,10 +408,18 @@ def execute_plans(
             tasks.extend(plan.tasks)
             counters_list.extend([plan.counters] * (len(tasks) - start))
             spans.append((index, start, len(tasks)))
+        kernel_started = time.perf_counter()
         endpoints = run_walk_tasks(
             engine, graph, tasks, rng, counters_list=counters_list,
             deadline=deadline,
         )
+        kernel_ended = time.perf_counter()
         for index, start, stop in spans:
-            results[index] = plans[index].finalize(endpoints[start:stop])
+            trace = _trace(index)
+            if trace is not None:
+                trace.add_span(
+                    "kernel", kernel_started, kernel_ended,
+                    backend=getattr(engine, "name", "backend"), fused=False,
+                )
+            results[index] = _finalize(index, endpoints[start:stop])
     return results

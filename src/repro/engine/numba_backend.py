@@ -28,6 +28,7 @@ import math
 import numpy as np
 
 from repro.engine.vectorized import _validated_hops, _validated_starts
+from repro.obs import profile_kernel
 
 try:  # pragma: no cover - exercised only where numba is installed
     from numba import njit, prange
@@ -447,16 +448,17 @@ class NumbaBackend:
         if starts.size == 0:
             return starts
         hops = _validated_hops(starts, hop_offsets)
-        ends, steps = _call_kernel(_walk_batch_kernel,
-            graph.indptr,
-            graph.indices,
-            graph.degrees,
-            starts,
-            hops,
-            weights.stop_probability_array(),
-            weights.max_hop,
-            self._draw_seed(rng),
-        )
+        with profile_kernel(self.name, "heat", starts.size, counters):
+            ends, steps = _call_kernel(_walk_batch_kernel,
+                graph.indptr,
+                graph.indices,
+                graph.degrees,
+                starts,
+                hops,
+                weights.stop_probability_array(),
+                weights.max_hop,
+                self._draw_seed(rng),
+            )
         if counters is not None:
             counters.random_walks += starts.size
             counters.walk_steps += int(steps)
@@ -475,15 +477,16 @@ class NumbaBackend:
         starts = _validated_starts(graph, start_nodes)
         if starts.size == 0:
             return starts
-        ends, steps = _call_kernel(_poisson_walk_kernel,
-            graph.indptr,
-            graph.indices,
-            graph.degrees,
-            starts,
-            float(weights.t),
-            -1 if max_length is None else int(max_length),
-            self._draw_seed(rng),
-        )
+        with profile_kernel(self.name, "poisson", starts.size, counters):
+            ends, steps = _call_kernel(_poisson_walk_kernel,
+                graph.indptr,
+                graph.indices,
+                graph.degrees,
+                starts,
+                float(weights.t),
+                -1 if max_length is None else int(max_length),
+                self._draw_seed(rng),
+            )
         if counters is not None:
             counters.random_walks += starts.size
             counters.walk_steps += int(steps)
@@ -501,14 +504,15 @@ class NumbaBackend:
         starts = _validated_starts(graph, start_nodes)
         if starts.size == 0:
             return starts
-        ends, steps = _call_kernel(_geometric_walk_kernel,
-            graph.indptr,
-            graph.indices,
-            graph.degrees,
-            starts,
-            float(alpha),
-            self._draw_seed(rng),
-        )
+        with profile_kernel(self.name, "geometric", starts.size, counters):
+            ends, steps = _call_kernel(_geometric_walk_kernel,
+                graph.indptr,
+                graph.indices,
+                graph.degrees,
+                starts,
+                float(alpha),
+                self._draw_seed(rng),
+            )
         if counters is not None:
             counters.random_walks += starts.size
             counters.walk_steps += int(steps)

@@ -55,6 +55,7 @@ from repro.engine.vectorized import (
     walk_batch_validated,
 )
 from repro.exceptions import ParameterError
+from repro.obs import profile_kernel
 from repro.utils.counters import OperationCounters
 
 #: Environment variable consulted for the default worker count.
@@ -502,7 +503,8 @@ class ParallelBackend:
             for i, (lo, hi) in enumerate(shard_bounds(total, self.num_workers))
             if hi > lo
         ]
-        ends, steps, mode = self._execute(graph, payloads, total)
+        with profile_kernel(self.name, "heat", total, counters):
+            ends, steps, mode = self._execute(graph, payloads, total)
         self._record(counters, total, steps, mode)
         return ends
 
@@ -532,7 +534,8 @@ class ParallelBackend:
             for i, (lo, hi) in enumerate(shard_bounds(total, self.num_workers))
             if hi > lo
         ]
-        ends, steps, mode = self._execute(graph, payloads, total)
+        with profile_kernel(self.name, "poisson", total, counters):
+            ends, steps, mode = self._execute(graph, payloads, total)
         self._record(counters, total, steps, mode)
         return ends
 
@@ -560,6 +563,7 @@ class ParallelBackend:
             for i, (lo, hi) in enumerate(shard_bounds(total, self.num_workers))
             if hi > lo
         ]
-        ends, steps, mode = self._execute(graph, payloads, total)
+        with profile_kernel(self.name, "geometric", total, counters):
+            ends, steps, mode = self._execute(graph, payloads, total)
         self._record(counters, total, steps, mode)
         return ends

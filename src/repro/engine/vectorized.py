@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.engine import as_int_array
 from repro.exceptions import ParameterError
+from repro.obs import profile_kernel
 from repro.graph.graph import Graph
 from repro.hkpr.poisson import PoissonWeights
 from repro.utils.counters import OperationCounters
@@ -213,10 +214,11 @@ class VectorizedBackend:
         if current.size == 0:
             return current
         hops = _validated_hops(current, hop_offsets)
-        return walk_batch_validated(
-            graph, current, hops, weights, rng,
-            counters=counters, step_counts=step_counts,
-        )
+        with profile_kernel(self.name, "heat", current.size, counters):
+            return walk_batch_validated(
+                graph, current, hops, weights, rng,
+                counters=counters, step_counts=step_counts,
+            )
 
     def poisson_walk_batch(
         self,
@@ -230,10 +232,11 @@ class VectorizedBackend:
         step_counts: np.ndarray | None = None,
     ) -> np.ndarray:
         current = _validated_starts(graph, start_nodes)
-        return poisson_walk_batch_validated(
-            graph, current, weights, rng,
-            max_length=max_length, counters=counters, step_counts=step_counts,
-        )
+        with profile_kernel(self.name, "poisson", current.size, counters):
+            return poisson_walk_batch_validated(
+                graph, current, weights, rng,
+                max_length=max_length, counters=counters, step_counts=step_counts,
+            )
 
     def geometric_walk_batch(
         self,
@@ -246,10 +249,11 @@ class VectorizedBackend:
         step_counts: np.ndarray | None = None,
     ) -> np.ndarray:
         current = _validated_starts(graph, start_nodes)
-        return geometric_walk_batch_validated(
-            graph, current, alpha, rng,
-            counters=counters, step_counts=step_counts,
-        )
+        with profile_kernel(self.name, "geometric", current.size, counters):
+            return geometric_walk_batch_validated(
+                graph, current, alpha, rng,
+                counters=counters, step_counts=step_counts,
+            )
 
     def fused_push_walk(
         self,

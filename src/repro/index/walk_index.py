@@ -61,6 +61,10 @@ class WalkIndex:
         self._hits = 0
         self._misses = 0
         self._walks_served = 0
+        #: Graph name used as the ``{graph=...}`` label on the index metric
+        #: series; set by :meth:`GraphRegistry.attach_index`.  ``None``
+        #: (standalone/library use) skips metrics recording.
+        self.metrics_label: str | None = None
 
     # -- construction -------------------------------------------------
 
@@ -136,6 +140,7 @@ class WalkIndex:
         if span is None:
             with self._lock:
                 self._misses += 1
+            self._record_metrics(hit=False, served=0)
             return None
         start, stop = span
         if max_walks is not None:
@@ -144,7 +149,31 @@ class WalkIndex:
         with self._lock:
             self._hits += 1
             self._walks_served += served
+        self._record_metrics(hit=True, served=served)
         return np.asarray(self._endpoints[start:stop])
+
+    def _record_metrics(self, *, hit: bool, served: int) -> None:
+        """Mirror a lookup onto the active metrics registry (labeled by the
+        graph name the registry attached this index under)."""
+        if self.metrics_label is None:
+            return
+        from repro.obs import active_registry
+
+        registry = active_registry()
+        name = "index_hits_total" if hit else "index_misses_total"
+        registry.counter(
+            name,
+            "Walk-sketch index lookups that "
+            + ("found" if hit else "missed")
+            + " a stored sketch.",
+            ("graph",),
+        ).labels(graph=self.metrics_label).inc()
+        if served:
+            registry.counter(
+                "index_walks_served_total",
+                "Walks served from stored sketches instead of online sampling.",
+                ("graph",),
+            ).labels(graph=self.metrics_label).inc(float(served))
 
     def sketch_size(self, kind: str, node: int, bucket: float) -> int:
         """Stored walk count for a sketch (0 if absent); no counters touched."""

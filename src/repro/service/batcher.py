@@ -66,6 +66,15 @@ class MicroBatcher:
         self._stop_event = threading.Event()
         self._thread: threading.Thread | None = None
         self._lock = threading.Lock()
+        # Collection-cycle accounting (how batches actually form): how many
+        # requests arrived in the initial drain vs only during the grace
+        # window — the number that tells whether the grace window earns its
+        # latency cost for the current workload.
+        self._stats_lock = threading.Lock()
+        self._cycles = 0
+        self._collected = 0
+        self._grace_collected = 0
+        self._full_batches = 0
 
     @property
     def max_batch(self) -> int:
@@ -126,6 +135,21 @@ class MicroBatcher:
         """Approximate number of queued requests."""
         return self._queue.qsize()
 
+    def stats(self) -> dict:
+        """Collection-cycle accounting (cycles, grace-window yield)."""
+        with self._stats_lock:
+            return {
+                "cycles": self._cycles,
+                "collected": self._collected,
+                "grace_collected": self._grace_collected,
+                "full_batches": self._full_batches,
+                "grace_yield": (
+                    self._grace_collected / self._collected
+                    if self._collected
+                    else 0.0
+                ),
+            }
+
     def _collect(self) -> list[Any]:
         """One cycle's batch: block for the first item, drain, short grace."""
         try:
@@ -138,6 +162,7 @@ class MicroBatcher:
                 batch.append(self._queue.get_nowait())
             except queue.Empty:
                 break
+        drained = len(batch)
         if self._batch_wait and len(batch) < self._max_batch:
             deadline = time.perf_counter() + self._batch_wait
             while len(batch) < self._max_batch:
@@ -148,6 +173,12 @@ class MicroBatcher:
                     batch.append(self._queue.get(timeout=remaining))
                 except queue.Empty:
                     break
+        with self._stats_lock:
+            self._cycles += 1
+            self._collected += len(batch)
+            self._grace_collected += len(batch) - drained
+            if len(batch) >= self._max_batch:
+                self._full_batches += 1
         return batch
 
     def _loop(self) -> None:

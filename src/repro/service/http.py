@@ -11,6 +11,11 @@ Endpoints:
   failures.
 * ``GET /stats`` — serving telemetry (latency, cache hit rate, batch
   occupancy, walks/sec).
+* ``GET /metrics`` — the Prometheus text exposition of the service's
+  labeled metrics registry (disable with ``make_server(...,
+  metrics_enabled=False)`` / ``repro-cli serve --no-metrics``).
+* ``GET /trace/recent?n=K`` — the most recent finished query traces,
+  newest first (spans with per-phase timings).
 * ``GET /graphs`` — registered graphs and their sizes.
 * ``GET /methods`` — the servable methods with their full declarative
   parameter schemas, rendered straight from the estimator registry
@@ -30,8 +35,10 @@ import concurrent.futures
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
 
 from repro.exceptions import QueryTimeoutError, ReproError, ServiceOverloadedError
+from repro.obs.metrics import CONTENT_TYPE as METRICS_CONTENT_TYPE
 from repro.service.planner import DEFAULT_TOP_K
 from repro.service.service import QueryService
 
@@ -71,14 +78,43 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_text(self, status: int, body: str, content_type: str) -> None:
+        data = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
-        if self.path == "/healthz":
+        parts = urlsplit(self.path)
+        path = parts.path
+        if path == "/healthz":
             self._send_json(200, {"status": "ok"})
-        elif self.path == "/stats":
+        elif path == "/stats":
             self._send_json(200, self.service.stats())
-        elif self.path == "/graphs":
+        elif path == "/metrics":
+            if not getattr(self.server, "metrics_enabled", True):
+                self._send_json(
+                    404, {"error": "metrics endpoint is disabled"}
+                )
+                return
+            self._send_text(
+                200, self.service.render_metrics(), METRICS_CONTENT_TYPE
+            )
+        elif path == "/trace/recent":
+            query = parse_qs(parts.query)
+            try:
+                n = int(query["n"][0]) if "n" in query else None
+            except (TypeError, ValueError):
+                self._send_json(
+                    400, {"error": f"non-integer n={query.get('n')!r}"}
+                )
+                return
+            self._send_json(200, {"traces": self.service.recent_traces(n)})
+        elif path == "/graphs":
             self._send_json(200, {"graphs": self.service.registry.describe()})
-        elif self.path == "/methods":
+        elif path == "/methods":
             from repro.estimators import describe_methods
             from repro.service.planner import SERVICE_METHODS
 
@@ -168,20 +204,29 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
 
 
 def make_server(
-    service: QueryService, host: str = "127.0.0.1", port: int = 8355
+    service: QueryService,
+    host: str = "127.0.0.1",
+    port: int = 8355,
+    *,
+    metrics_enabled: bool = True,
 ) -> ThreadingHTTPServer:
     """Build (but do not start) the HTTP server bound to ``host:port``."""
     server = ThreadingHTTPServer((host, port), ServiceRequestHandler)
     server.daemon_threads = True
     server.service = service  # type: ignore[attr-defined]
+    server.metrics_enabled = metrics_enabled  # type: ignore[attr-defined]
     return server
 
 
 def serve_in_thread(
-    service: QueryService, host: str = "127.0.0.1", port: int = 0
+    service: QueryService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    metrics_enabled: bool = True,
 ) -> tuple[ThreadingHTTPServer, threading.Thread]:
     """Start the server on a background thread (tests; port 0 = ephemeral)."""
-    server = make_server(service, host, port)
+    server = make_server(service, host, port, metrics_enabled=metrics_enabled)
     thread = threading.Thread(
         target=server.serve_forever, name="repro-service-http", daemon=True
     )

@@ -220,7 +220,7 @@ def walk_estimate_is_tight(request: QueryRequest) -> bool:
     return SERVICE_METHODS[request.method].walks_tight
 
 
-def build_plan(entry: GraphEntry, request: QueryRequest, *, deadline=None):
+def build_plan(entry: GraphEntry, request: QueryRequest, *, deadline=None, trace=None):
     """Build the request's :class:`~repro.engine.multi.WalkPlan`.
 
     Push phases and residue sampling run here (on the dispatch thread).
@@ -238,11 +238,17 @@ def build_plan(entry: GraphEntry, request: QueryRequest, *, deadline=None):
     the top-up is sampled online.  Pinned requests bypass the index — their
     contract is byte-reproducible endpoints from the request's own
     generator, which stored shared-sketch endpoints cannot honor.
+
+    ``trace`` (a :class:`repro.obs.QueryTrace`, optional) receives an
+    ``index_lookup`` span around the index-combiner attempt.
     """
     rng = ensure_rng(request.rng) if request.pinned else ensure_rng(None)
     if entry.index is not None and not request.pinned:
+        import time as _time
+
         from repro.index.combine import plan_from_index
 
+        lookup_started = _time.perf_counter()
         plan = plan_from_index(
             entry.index,
             entry.graph,
@@ -251,6 +257,13 @@ def build_plan(entry: GraphEntry, request: QueryRequest, *, deadline=None):
             request.params,
             weights_for=entry.poisson_weights,
         )
+        if trace is not None:
+            # Nested inside the caller's "plan" span; summing the four
+            # top-level phases must therefore skip this one.
+            trace.add_span(
+                "index_lookup", lookup_started, _time.perf_counter(),
+                hit=plan is not None,
+            )
         if plan is not None:
             return plan, rng
     plan = SERVICE_METHODS[request.method].build_plan(

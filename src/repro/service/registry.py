@@ -271,6 +271,7 @@ class GraphRegistry:
 
             index = WalkIndex.from_file(index, mmap=mmap)
         index.verify_graph(entry.graph)
+        index.metrics_label = name
         entry.index = index
         return entry
 

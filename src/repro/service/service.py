@@ -29,6 +29,7 @@ from collections import deque
 from concurrent.futures import Future, InvalidStateError
 from dataclasses import dataclass
 
+from repro import obs
 from repro.engine import Backend, get_backend
 from repro.engine.multi import execute_plans, run_walk_tasks
 from repro.exceptions import (
@@ -38,6 +39,8 @@ from repro.exceptions import (
     ServiceOverloadedError,
 )
 from repro.hkpr.result import HKPRResult
+from repro.obs.metrics import MetricFamily, MetricsRegistry, Sample, use_registry
+from repro.obs.trace import QueryTrace, TraceRecorder
 from repro.service.batcher import (
     DEFAULT_BATCH_WAIT_SECONDS,
     DEFAULT_MAX_BATCH,
@@ -108,42 +111,95 @@ class QueryResponse:
 
 
 class Telemetry:
-    """Thread-safe serving metrics (latency, occupancy, walk throughput)."""
+    """Thread-safe serving metrics (latency, occupancy, walk throughput).
 
-    def __init__(self, *, latency_window: int = 2048) -> None:
+    Request/latency counting lives in labeled metrics-registry series
+    (``queries_total{method,graph,outcome}`` and the
+    ``query_latency_seconds`` histogram) and :meth:`snapshot` is a
+    backward-compatible *view* over them: the scalar totals ``/stats``
+    always reported are derived by summing label children, so the two
+    surfaces can never disagree.  Percentiles and the windowed request rate
+    come from small bounded deques the exposition format cannot express.
+    """
+
+    #: Arrival history horizon for the windowed request rate (seconds).
+    RATE_WINDOW_SECONDS = 60.0
+
+    def __init__(
+        self,
+        *,
+        latency_window: int = 2048,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
         self._lock = threading.Lock()
         self._started = time.monotonic()
-        self._requests = 0
-        self._cache_hits = 0
-        self._rejected = 0
-        self._errors = 0
-        self._timeouts = 0
+        self._queries = self.registry.counter(
+            "queries_total",
+            "Queries by method, graph and terminal outcome "
+            "(ok|cached|error|timeout|rejected).",
+            ("method", "graph", "outcome"),
+        )
+        self._latency = self.registry.histogram(
+            "query_latency_seconds",
+            "End-to-end query latency, admission to response.",
+            ("method", "graph", "outcome"),
+        )
         self._walks = 0
         self._batches = 0
         self._batched_requests = 0
         self._max_occupancy = 0
         self._batch_seconds = 0.0
         self._latencies: deque[float] = deque(maxlen=latency_window)
+        # Arrival timestamps for the windowed rate; bounded so a burst
+        # cannot grow it without limit (at the cap the windowed rate
+        # saturates, which is the honest reading anyway).
+        self._arrivals: deque[float] = deque(maxlen=65536)
 
-    def record_response(self, latency_seconds: float, *, cached: bool) -> None:
+    def record_response(
+        self,
+        latency_seconds: float,
+        *,
+        cached: bool,
+        method: str = "unknown",
+        graph: str = "unknown",
+    ) -> None:
+        outcome = "cached" if cached else "ok"
+        self._queries.labels(method=method, graph=graph, outcome=outcome).inc()
+        self._latency.labels(
+            method=method, graph=graph, outcome=outcome
+        ).observe(latency_seconds)
         with self._lock:
-            self._requests += 1
-            if cached:
-                self._cache_hits += 1
             self._latencies.append(latency_seconds)
+            self._arrivals.append(time.monotonic())
 
-    def record_rejection(self) -> None:
-        with self._lock:
-            self._rejected += 1
+    def record_rejection(
+        self, *, method: str = "unknown", graph: str = "unknown"
+    ) -> None:
+        self._queries.labels(
+            method=method, graph=graph, outcome="rejected"
+        ).inc()
 
-    def record_error(self) -> None:
-        with self._lock:
-            self._errors += 1
+    def record_error(
+        self, *, method: str = "unknown", graph: str = "unknown"
+    ) -> None:
+        self._queries.labels(method=method, graph=graph, outcome="error").inc()
 
-    def record_timeout(self) -> None:
+    def record_timeout(
+        self,
+        *,
+        method: str = "unknown",
+        graph: str = "unknown",
+        latency_seconds: float | None = None,
+    ) -> None:
         """A query tripped its deadline (counted apart from errors)."""
-        with self._lock:
-            self._timeouts += 1
+        self._queries.labels(
+            method=method, graph=graph, outcome="timeout"
+        ).inc()
+        if latency_seconds is not None:
+            self._latency.labels(
+                method=method, graph=graph, outcome="timeout"
+            ).observe(latency_seconds)
 
     def record_batch(self, occupancy: int, walks: int, seconds: float) -> None:
         with self._lock:
@@ -154,9 +210,21 @@ class Telemetry:
             self._batch_seconds += seconds
 
     def snapshot(self) -> dict:
-        """JSON-able metrics summary."""
+        """JSON-able metrics summary (the legacy ``/stats`` scalar view)."""
+        responses = int(self._queries.sum_matching(outcome="ok"))
+        cache_hits = int(self._queries.sum_matching(outcome="cached"))
+        rejected = int(self._queries.sum_matching(outcome="rejected"))
+        errors = int(self._queries.sum_matching(outcome="error"))
+        timeouts = int(self._queries.sum_matching(outcome="timeout"))
+        requests = responses + cache_hits
         with self._lock:
-            uptime = max(time.monotonic() - self._started, 1e-9)
+            now = time.monotonic()
+            uptime = max(now - self._started, 1e-9)
+            horizon = now - self.RATE_WINDOW_SECONDS
+            while self._arrivals and self._arrivals[0] < horizon:
+                self._arrivals.popleft()
+            window = min(uptime, self.RATE_WINDOW_SECONDS)
+            recent = len(self._arrivals)
             latencies = sorted(self._latencies)
             def _pct(p: float) -> float:
                 if not latencies:
@@ -165,17 +233,21 @@ class Telemetry:
                 return latencies[index] * 1000.0
             return {
                 "uptime_seconds": round(uptime, 3),
-                "requests_total": self._requests,
-                "requests_per_second": round(self._requests / uptime, 3),
-                "rejected_total": self._rejected,
-                "errors_total": self._errors,
-                "timeouts_total": self._timeouts,
+                "requests_total": requests,
+                "requests_per_second": round(requests / uptime, 3),
+                "requests_per_second_60s": round(recent / window, 3),
+                "cache_hits_total": cache_hits,
+                "cache_hit_rate": round(cache_hits / requests, 4) if requests else 0.0,
+                "rejected_total": rejected,
+                "errors_total": errors,
+                "timeouts_total": timeouts,
                 "latency_ms": {
                     "mean": round(
                         sum(latencies) / len(latencies) * 1000.0, 3
                     ) if latencies else 0.0,
                     "p50": round(_pct(0.50), 3),
                     "p95": round(_pct(0.95), 3),
+                    "p99": round(_pct(0.99), 3),
                     "max": round(latencies[-1] * 1000.0, 3) if latencies else 0.0,
                 },
                 "batches": {
@@ -205,6 +277,7 @@ class _Pending:
     estimated_walks: int
     submitted_at: float
     deadline: Deadline | None = None
+    trace: QueryTrace | None = None
 
 
 class QueryService:
@@ -223,6 +296,10 @@ class QueryService:
         cache_ttl_seconds: float | None = None,
         default_timeout_ms: float | None = None,
         rng: RandomState = None,
+        metrics_registry: MetricsRegistry | None = None,
+        trace_capacity: int = obs.DEFAULT_RING_CAPACITY,
+        slow_query_ms: float | None = None,
+        slow_query_log: str | None = None,
     ) -> None:
         self.registry = registry if registry is not None else GraphRegistry()
         #: Deadline applied to requests that carry no ``timeout_ms`` of
@@ -231,7 +308,20 @@ class QueryService:
         self.default_timeout_ms = default_timeout_ms
         self._backend = get_backend(backend)
         self._rng = ensure_rng(rng)
-        self.telemetry = Telemetry()
+        #: Per-service metrics registry (so two services in one process do
+        #: not mix series); rendered by ``GET /metrics``.  Pass a shared
+        #: registry to aggregate several services into one exposition.
+        self.metrics = (
+            metrics_registry if metrics_registry is not None else MetricsRegistry()
+        )
+        self.telemetry = Telemetry(registry=self.metrics)
+        #: Recent-trace ring + slow-query JSONL sink (``GET /trace/recent``).
+        self.tracer = TraceRecorder(
+            capacity=trace_capacity,
+            slow_query_ms=slow_query_ms,
+            slow_query_log=slow_query_log,
+        )
+        self.metrics.register_collector(self._collect_service_metrics)
         self.cache: ResultCache | None = (
             # Cache keys start with the graph name (see
             # QueryRequest.cache_key), so grouping by key[0] yields the
@@ -266,6 +356,7 @@ class QueryService:
     def stop(self) -> None:
         """Stop dispatching; queued requests fail with :class:`ServiceExecutionError`."""
         self._batcher.stop()
+        self.tracer.close()
 
     def __enter__(self) -> "QueryService":
         return self.start()
@@ -322,7 +413,8 @@ class QueryService:
                     entry=entry,
                 )
                 self.telemetry.record_response(
-                    response.latency_seconds, cached=True
+                    response.latency_seconds, cached=True,
+                    method=request.method, graph=graph,
                 )
                 future: "Future[QueryResponse]" = Future()
                 future.set_result(response)
@@ -338,7 +430,7 @@ class QueryService:
             # eps ~ p_f).  Methods whose estimate is only a loose upper
             # bound (tea/tea+/fora: the push phase usually collapses it)
             # keep the escape hatch.
-            self.telemetry.record_rejection()
+            self.telemetry.record_rejection(method=request.method, graph=graph)
             raise ServiceOverloadedError(
                 f"query's estimated walks ({estimated}) exceed the in-flight "
                 f"walk budget ({self._max_inflight_walks}); tighten its "
@@ -349,7 +441,9 @@ class QueryService:
                 self._inflight_walks + estimated > self._max_inflight_walks
                 and self._inflight_walks > 0
             ):
-                self.telemetry.record_rejection()
+                self.telemetry.record_rejection(
+                    method=request.method, graph=graph
+                )
                 raise ServiceOverloadedError(
                     f"in-flight walk budget exhausted "
                     f"({self._inflight_walks} + {estimated} > "
@@ -365,14 +459,21 @@ class QueryService:
         deadline = (
             Deadline(effective_timeout) if effective_timeout is not None else None
         )
+        trace = (
+            QueryTrace(
+                graph=graph, method=request.method, seed_node=request.seed_node
+            )
+            if obs.enabled()
+            else None
+        )
         pending = _Pending(
-            request, entry, Future(), estimated, submitted_at, deadline
+            request, entry, Future(), estimated, submitted_at, deadline, trace
         )
         try:
             self._batcher.submit(pending)
         except ServiceOverloadedError:
             self._release_walks(estimated)
-            self.telemetry.record_rejection()
+            self.telemetry.record_rejection(method=request.method, graph=graph)
             raise
         return pending.future
 
@@ -414,6 +515,7 @@ class QueryService:
         snapshot["queue"] = {
             "pending": self._batcher.pending(),
             "max_batch": self._batcher.max_batch,
+            "batcher": self._batcher.stats(),
         }
         with self._inflight_lock:
             snapshot["inflight_walks"] = self._inflight_walks
@@ -427,7 +529,111 @@ class QueryService:
             }
             for info in self.registry.describe()
         }
+        snapshot["observability"] = {
+            "enabled": obs.enabled(),
+            "traces": self.tracer.stats(),
+        }
         return snapshot
+
+    def render_metrics(self) -> str:
+        """The Prometheus text exposition (the ``GET /metrics`` body)."""
+        return self.metrics.render()
+
+    def recent_traces(self, n: int | None = None) -> list[dict]:
+        """Most recent finished query traces, newest first (``/trace/recent``)."""
+        return self.tracer.recent(n)
+
+    def _collect_service_metrics(self) -> list[MetricFamily]:
+        """Scrape-time collector: service-level state the hot path already
+        tracks elsewhere (no double counting on the request path)."""
+        tele = self.telemetry
+        with tele._lock:
+            uptime = time.monotonic() - tele._started
+            batches = tele._batches
+            walks = tele._walks
+        with self._inflight_lock:
+            inflight = self._inflight_walks
+        families = [
+            MetricFamily(
+                "service_uptime_seconds", "gauge",
+                "Seconds since the service started.",
+                [Sample("service_uptime_seconds", {}, uptime)],
+            ),
+            MetricFamily(
+                "service_queue_pending", "gauge",
+                "Admitted requests waiting for dispatch.",
+                [Sample("service_queue_pending", {}, float(self._batcher.pending()))],
+            ),
+            MetricFamily(
+                "service_inflight_walks", "gauge",
+                "Estimated walks admitted but not yet completed.",
+                [Sample("service_inflight_walks", {}, float(inflight))],
+            ),
+            MetricFamily(
+                "service_batches_total", "counter",
+                "Dispatch cycles executed.",
+                [Sample("service_batches_total", {}, float(batches))],
+            ),
+            MetricFamily(
+                "service_walks_total", "counter",
+                "Random walks executed by dispatched batches.",
+                [Sample("service_walks_total", {}, float(walks))],
+            ),
+        ]
+        if self.cache is not None:
+            cache_stats = self.cache.stats()
+            per_graph = cache_stats.get("per_group", {})
+            for metric, help_text in (
+                ("hits", "Result-cache hits."),
+                ("misses", "Result-cache misses."),
+                ("evictions", "Result-cache capacity evictions."),
+            ):
+                family = MetricFamily(
+                    f"result_cache_{metric}_total", "counter", help_text
+                )
+                if per_graph:
+                    for graph_name, counters in sorted(per_graph.items()):
+                        family.samples.append(
+                            Sample(
+                                family.name,
+                                {"graph": graph_name},
+                                float(counters.get(metric, 0)),
+                            )
+                        )
+                else:
+                    family.samples.append(
+                        Sample(family.name, {}, float(cache_stats.get(metric, 0)))
+                    )
+                families.append(family)
+            families.append(
+                MetricFamily(
+                    "result_cache_entries", "gauge",
+                    "Entries currently held by the result cache.",
+                    [Sample(
+                        "result_cache_entries", {},
+                        float(cache_stats.get("entries", 0)),
+                    )],
+                )
+            )
+        nodes_family = MetricFamily(
+            "graph_nodes", "gauge", "Nodes per registered graph."
+        )
+        edges_family = MetricFamily(
+            "graph_edges", "gauge", "Edges per registered graph."
+        )
+        for name in self.registry.names():
+            try:
+                graph = self.registry.get(name).graph
+            except Exception:  # noqa: BLE001 - racing an unregister
+                continue
+            nodes_family.samples.append(
+                Sample("graph_nodes", {"graph": name}, float(graph.num_nodes))
+            )
+            edges_family.samples.append(
+                Sample("graph_edges", {"graph": name}, float(graph.num_edges))
+            )
+        families.extend([nodes_family, edges_family])
+        return families
 
     # -------------------------------------------------------------- #
     # Dispatch side (runs on the batcher thread)
@@ -447,6 +653,14 @@ class QueryService:
         except InvalidStateError:  # client cancelled while queued
             pass
 
+    def _finish_trace(
+        self, pending: _Pending, outcome: str, latency_ms: float | None = None
+    ) -> None:
+        if pending.trace is None:
+            return
+        self.tracer.record(pending.trace.finish(outcome, latency_ms))
+        pending.trace = None  # a pending terminates exactly once
+
     def _resolve(
         self, pending: _Pending, result: HKPRResult, batch_size: int
     ) -> None:
@@ -460,14 +674,21 @@ class QueryService:
         )
         if self.cache is not None and pending.request.cache_eligible():
             self.cache.put(pending.request.cache_key(), result)
-        self.telemetry.record_response(response.latency_seconds, cached=False)
+        self.telemetry.record_response(
+            response.latency_seconds, cached=False,
+            method=pending.request.method, graph=pending.request.graph,
+        )
+        self._finish_trace(pending, "ok", response.latency_seconds * 1000.0)
         try:
             pending.future.set_result(response)
         except InvalidStateError:  # client cancelled mid-flight; result dropped
             pass
 
     def _fail(self, pending: _Pending, error: Exception) -> None:
-        self.telemetry.record_error()
+        self.telemetry.record_error(
+            method=pending.request.method, graph=pending.request.graph
+        )
+        self._finish_trace(pending, "error")
         try:
             pending.future.set_exception(error)
         except InvalidStateError:  # client cancelled mid-flight
@@ -475,14 +696,38 @@ class QueryService:
 
     def _fail_timeout(self, pending: _Pending, error: QueryTimeoutError) -> None:
         """Deadline trips are accounted apart from errors (see ``/stats``)."""
-        self.telemetry.record_timeout()
+        elapsed_ms = getattr(error, "elapsed_ms", None)
+        self.telemetry.record_timeout(
+            method=pending.request.method,
+            graph=pending.request.graph,
+            latency_seconds=(
+                elapsed_ms / 1000.0 if elapsed_ms is not None else None
+            ),
+        )
+        if pending.trace is not None:
+            now = time.perf_counter()
+            pending.trace.add_span(
+                "deadline_hit", now, now,
+                timeout_ms=getattr(error, "timeout_ms", None),
+                elapsed_ms=elapsed_ms,
+            )
+        self._finish_trace(pending, "timeout", elapsed_ms)
         try:
             pending.future.set_exception(error)
         except InvalidStateError:  # client cancelled mid-flight
             pass
 
     def _execute_batch(self, batch: list[_Pending]) -> None:
-        """Plan every request, fuse unpinned walk phases per graph, finalize."""
+        """Plan every request, fuse unpinned walk phases per graph, finalize.
+
+        The whole cycle runs with this service's metrics registry active,
+        so kernel series recorded deep inside the engine land here rather
+        than in the process-wide registry.
+        """
+        with use_registry(self.metrics):
+            self._execute_batch_inner(batch)
+
+    def _execute_batch_inner(self, batch: list[_Pending]) -> None:
         started = time.perf_counter()
         walks_executed = 0
         # Keyed by entry identity, not graph name: re-registering a name
@@ -496,15 +741,33 @@ class QueryService:
             if not pending.future.set_running_or_notify_cancel():
                 self._release_walks(pending.estimated_walks)
                 continue
+            trace = pending.trace
+            if trace is not None:
+                # From trace creation (admission) to now: the queue wait.
+                trace.add_span(
+                    "queue_wait", trace.origin, time.perf_counter(),
+                    batch_size=len(batch),
+                )
             try:
                 if pending.deadline is not None:
                     # Queue wait counts against the budget: a request whose
                     # deadline already passed fails here instead of burning
                     # dispatch-thread time on a doomed push phase.
                     pending.deadline.checkpoint()
+                plan_started = time.perf_counter()
                 plan, plan_rng = build_plan(
-                    pending.entry, pending.request, deadline=pending.deadline
+                    pending.entry, pending.request, deadline=pending.deadline,
+                    trace=trace,
                 )
+                if trace is not None:
+                    trace.add_span(
+                        "plan", plan_started, time.perf_counter(),
+                        push_operations=(
+                            plan.counters.push_operations
+                            if plan.counters is not None
+                            else 0
+                        ),
+                    )
             except QueryTimeoutError as error:
                 self._release_walks(pending.estimated_walks)
                 self._fail_timeout(pending, error)
@@ -546,6 +809,7 @@ class QueryService:
                 results = execute_plans(
                     self._backend, entry.graph, plans, self._rng,
                     deadline=group_deadline,
+                    traces=[pending.trace for pending, _ in group],
                 )
             except QueryTimeoutError:
                 # The whole group's remaining walks were abandoned; fail
@@ -581,7 +845,9 @@ class QueryService:
                 self._resolve(pending, result, batch_size=len(batch))
 
         for pending, plan, plan_rng in pinned:
+            trace = pending.trace
             try:
+                kernel_started = time.perf_counter()
                 endpoints = run_walk_tasks(
                     self._backend,
                     pending.entry.graph,
@@ -590,7 +856,17 @@ class QueryService:
                     counters_list=[plan.counters] * len(plan.tasks),
                     deadline=pending.deadline,
                 )
+                if trace is not None:
+                    trace.add_span(
+                        "kernel", kernel_started, time.perf_counter(),
+                        backend=self._backend.name, fused=False, pinned=True,
+                    )
+                finalize_started = time.perf_counter()
                 result = plan.finalize(endpoints)
+                if trace is not None:
+                    trace.add_span(
+                        "finalize", finalize_started, time.perf_counter()
+                    )
             except QueryTimeoutError as error:
                 self._release_walks(pending.estimated_walks)
                 self._fail_timeout(pending, error)
