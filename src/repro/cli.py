@@ -307,6 +307,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="emit the summary as JSON (machine-readable; for CI/scripts)",
     )
+    mutate = graph_sub.add_parser(
+        "mutate",
+        help=(
+            "apply an edge mutation to a graph served by a running "
+            "`repro-cli serve` instance (POST /graphs/<name>/edges)"
+        ),
+    )
+    mutate.add_argument("name", help="registered graph name on the server")
+    mutate.add_argument(
+        "--add", action="append", default=[], metavar="U,V",
+        help="edge to add, as two comma-separated node ids (repeatable)",
+    )
+    mutate.add_argument(
+        "--remove", action="append", default=[], metavar="U,V",
+        help="edge to remove, as two comma-separated node ids (repeatable)",
+    )
+    mutate.add_argument(
+        "--url", default="http://127.0.0.1:8355",
+        help="base URL of the running server (default http://127.0.0.1:8355)",
+    )
+    mutate.add_argument(
+        "--json", action="store_true",
+        help="emit the mutation summary as JSON (machine-readable)",
+    )
 
     index = subparsers.add_parser(
         "index", help="build / inspect .rwix walk-sketch index containers"
@@ -600,6 +624,9 @@ def _run_graph(args: argparse.Namespace) -> int:
     from repro.graph.binfmt import read_graph_binary
     from repro.service.registry import build_from_spec
 
+    if args.graph_command == "mutate":
+        return _run_graph_mutate(args)
+
     if args.graph_command == "pack":
         started = time.perf_counter()
         if args.edge_list:
@@ -653,6 +680,72 @@ def _run_graph(args: argparse.Namespace) -> int:
         )
     )
     print(f"mmap time       : {map_seconds * 1000:.2f} ms")
+    return 0
+
+
+def _parse_edge_flag(values: list[str], flag: str) -> list[list[int]]:
+    """``--add 1,2 --add 3,4`` -> ``[[1, 2], [3, 4]]``."""
+    edges = []
+    for item in values:
+        pieces = [piece.strip() for piece in item.split(",")]
+        if len(pieces) != 2 or not all(pieces):
+            raise ReproError(f"{flag} expects U,V (two node ids), got {item!r}")
+        try:
+            edges.append([int(pieces[0]), int(pieces[1])])
+        except ValueError:
+            raise ReproError(
+                f"{flag} expects integer node ids, got {item!r}"
+            ) from None
+    return edges
+
+
+def _run_graph_mutate(args: argparse.Namespace) -> int:
+    """``graph mutate``: POST an edge batch to a running server."""
+    import json
+    import urllib.error
+    import urllib.parse
+    import urllib.request
+
+    add = _parse_edge_flag(args.add, "--add")
+    remove = _parse_edge_flag(args.remove, "--remove")
+    if not add and not remove:
+        raise ReproError("nothing to do: pass at least one --add or --remove")
+    url = (
+        args.url.rstrip("/")
+        + "/graphs/"
+        + urllib.parse.quote(args.name, safe="")
+        + "/edges"
+    )
+    body = json.dumps({"add": add, "remove": remove}).encode()
+    request = urllib.request.Request(
+        url, data=body, headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30.0) as response:
+            summary = json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        try:
+            detail = json.loads(error.read()).get("error", "")
+        except Exception:  # noqa: BLE001 - best-effort error body
+            detail = ""
+        raise ReproError(
+            f"server rejected the mutation ({error.code}): {detail or error.reason}"
+        ) from None
+    except urllib.error.URLError as error:
+        raise ReproError(
+            f"cannot reach {args.url}: {error.reason} (is `repro-cli serve` running?)"
+        ) from None
+    if args.json:
+        print(json.dumps(summary, indent=2))
+        return 0
+    print(f"graph           : {summary['graph']}")
+    print(f"epoch           : {summary['epoch']}")
+    print(f"added / removed : {summary['added']} / {summary['removed']}")
+    print(f"edges now       : {summary['num_edges']}")
+    print(f"delta edges     : {summary['delta_edges']}"
+          + (" (compacted)" if summary["compacted"] else ""))
+    if summary["index_detached"]:
+        print("walk index      : detached (stale; rebuild with `repro-cli index build`)")
     return 0
 
 

@@ -1,0 +1,593 @@
+"""Copy-on-write adjacency overlay over the immutable CSR :class:`Graph`.
+
+The static stack (PRs 1-9) is built around an immutable CSR graph: cheap
+``O(1)`` degree lookups, contiguous neighbor slices, and fancy-indexed
+batch gathers for the vectorized walk kernels.  A service, however, sees
+graphs that *change*.  Rebuilding the CSR on every edge flip would cost
+``O(n + m)`` per update; :class:`DeltaGraph` instead keeps the base CSR
+untouched and patches only the adjacency rows that mutations have touched:
+
+* **Snapshots, not in-place mutation.**  ``add_edges`` / ``remove_edges``
+  return a *new* :class:`DeltaGraph` sharing the base arrays and all
+  untouched patch rows.  In-flight queries keep reading the snapshot they
+  resolved at admission; there is no locking on the read path.
+* **Epochs.**  Every successful mutation increments a monotonically
+  increasing ``epoch``.  Caches key on it, indexes are invalidated by it,
+  and :class:`MutationEvent` records exactly which edges moved between two
+  consecutive epochs so push states can be repaired incrementally
+  (:mod:`repro.dynamic.repair`).
+* **Bounded delta + compaction.**  Reads cost ``O(1)`` extra (one dict or
+  patch-row lookup), but the overlay's memory and the cost of building the
+  batch-gather arrays grow with the number of touched rows.  Once the
+  cumulative delta exceeds :func:`default_compaction_threshold`, callers
+  (the registry) fold the overlay back into a plain :class:`Graph` via
+  :meth:`DeltaGraph.compacted` — which is byte-identical to rebuilding
+  from scratch, because patch rows are kept sorted exactly like CSR
+  adjacency slices.
+
+Batched execution backends that understand the overlay advertise
+``supports_overlay = True`` and read through :meth:`gather_neighbors`;
+:meth:`for_backend` hands everything else a compacted plain graph.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import EmptyGraphError, GraphError, NodeNotFoundError
+from repro.graph.graph import Edge, Graph
+
+
+def default_compaction_threshold(num_edges: int) -> int:
+    """Delta-edge budget before an overlay should be folded into plain CSR.
+
+    Scales with the base size so small graphs compact eagerly (rebuilds are
+    cheap) while large graphs tolerate a useful update buffer: one eighth
+    of the edges, floored at 1024 delta edges.
+    """
+    return max(1024, num_edges // 8)
+
+
+def _edge_array(edges, n: int, *, what: str) -> np.ndarray:
+    """Normalize an edge iterable to a validated ``(k, 2)`` lo<hi array."""
+    if isinstance(edges, np.ndarray):
+        arr = edges.astype(np.int64, copy=True)
+    else:
+        edge_list = list(edges)
+        arr = (
+            np.array([(int(u), int(v)) for u, v in edge_list], dtype=np.int64)
+            if edge_list
+            else np.empty((0, 2), dtype=np.int64)
+        )
+    if arr.size == 0:
+        return arr.reshape(0, 2)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise GraphError(
+            f"edges to {what} must be (u, v) pairs, got shape {arr.shape}"
+        )
+    out_of_range = (arr < 0) | (arr >= n)
+    if out_of_range.any():
+        row, col = np.argwhere(out_of_range)[0]
+        raise NodeNotFoundError(int(arr[row, col]), n)
+    loops = arr[:, 0] == arr[:, 1]
+    if loops.any():
+        first = int(np.flatnonzero(loops)[0])
+        raise GraphError(
+            f"self-loop ({arr[first, 0]}, {arr[first, 1]}) is not allowed"
+        )
+    lo = np.minimum(arr[:, 0], arr[:, 1])
+    hi = np.maximum(arr[:, 0], arr[:, 1])
+    out = np.column_stack([lo, hi])
+    keys = lo * n + hi
+    unique = np.unique(keys)
+    if unique.size != keys.size:
+        order = np.argsort(keys, kind="stable")
+        sorted_keys = keys[order]
+        first = int(order[1:][sorted_keys[1:] == sorted_keys[:-1]].min())
+        raise GraphError(
+            f"duplicate edge ({out[first, 0]}, {out[first, 1]}) in {what} batch"
+        )
+    return out
+
+
+@dataclass(frozen=True)
+class MutationEvent:
+    """The exact edge delta between two consecutive epochs of one graph.
+
+    ``added`` / ``removed`` are ``(k, 2)`` int64 arrays with ``u < v`` per
+    row.  Consumers (push repair, benchmarks, the HTTP layer) treat events
+    as immutable records; replaying them in epoch order reconstructs any
+    later snapshot from an earlier one.
+    """
+
+    epoch_before: int
+    epoch: int
+    added: np.ndarray
+    removed: np.ndarray
+
+    def touched_nodes(self) -> np.ndarray:
+        """Sorted unique nodes whose adjacency changed in this event."""
+        return np.unique(np.concatenate([self.added.ravel(), self.removed.ravel()]))
+
+    def _incident(self, edges: np.ndarray, node: int) -> list[int]:
+        out = []
+        for u, v in edges:
+            if u == node:
+                out.append(int(v))
+            elif v == node:
+                out.append(int(u))
+        return out
+
+    def added_neighbors(self, node: int) -> list[int]:
+        """Neighbors gained by ``node`` in this event."""
+        return self._incident(self.added, node)
+
+    def removed_neighbors(self, node: int) -> list[int]:
+        """Neighbors lost by ``node`` in this event."""
+        return self._incident(self.removed, node)
+
+
+class DeltaGraph:
+    """An immutable snapshot of a base CSR graph plus an adjacency delta.
+
+    Implements the read API of :class:`~repro.graph.graph.Graph` (degrees,
+    neighbors, sampling, volumes) by consulting a per-node patch table
+    before falling back to the base CSR, plus the vectorized read-through
+    used by batch kernels (:meth:`gather_neighbors`).  Whole-graph views
+    that genuinely need contiguous CSR (``transition_matrix``,
+    ``subgraph``, ...) delegate to :meth:`compacted`.
+
+    Mutations never modify ``self``: :meth:`add_edges` /
+    :meth:`remove_edges` / :meth:`apply` return a new snapshot with
+    ``epoch + 1`` and a :class:`MutationEvent` describing the delta.
+    """
+
+    __slots__ = (
+        "_base",
+        "_adj",
+        "_degrees",
+        "_m",
+        "_delta_edges",
+        "epoch",
+        "last_event",
+        "_lock",
+        "_compacted",
+        "_patch_rows",
+        "_patch_indptr",
+        "_patch_indices",
+    )
+
+    def __init__(self, base: Graph, *, epoch: int = 0) -> None:
+        if not isinstance(base, Graph):
+            raise GraphError(
+                f"DeltaGraph wraps a plain CSR Graph, got {type(base).__name__}"
+            )
+        self._base = base
+        self._adj: dict[int, np.ndarray] = {}
+        self._degrees = base.degrees  # read-only view; copied on first apply
+        self._m = base.num_edges
+        self._delta_edges = 0
+        self.epoch = int(epoch)
+        self.last_event: MutationEvent | None = None
+        self._lock = threading.Lock()
+        self._compacted: Graph | None = None
+        self._patch_rows: np.ndarray | None = None
+        self._patch_indptr: np.ndarray | None = None
+        self._patch_indices: np.ndarray | None = None
+
+    @classmethod
+    def _from_parts(
+        cls,
+        base: Graph,
+        adj: dict[int, np.ndarray],
+        degrees: np.ndarray,
+        m: int,
+        delta_edges: int,
+        epoch: int,
+        event: MutationEvent,
+    ) -> "DeltaGraph":
+        snap = cls.__new__(cls)
+        snap._base = base
+        snap._adj = adj
+        snap._degrees = degrees
+        snap._m = m
+        snap._delta_edges = delta_edges
+        snap.epoch = epoch
+        snap.last_event = event
+        snap._lock = threading.Lock()
+        snap._compacted = None
+        snap._patch_rows = None
+        snap._patch_indptr = None
+        snap._patch_indices = None
+        return snap
+
+    # ------------------------------------------------------------------ #
+    # Mutation (returns a new snapshot)
+    # ------------------------------------------------------------------ #
+    def apply(self, *, add=(), remove=()) -> "DeltaGraph":
+        """Return a new snapshot with ``add`` inserted and ``remove`` deleted.
+
+        Validation mirrors :class:`Graph`: nodes must exist (the node set
+        is fixed), self-loops are rejected, adding a present edge or
+        removing an absent one raises :class:`GraphError`, as does listing
+        the same edge on both sides of one batch.
+        """
+        n = self.num_nodes
+        added = _edge_array(add, n, what="add")
+        removed = _edge_array(remove, n, what="remove")
+        if added.shape[0] == 0 and removed.shape[0] == 0:
+            raise GraphError("mutation must add or remove at least one edge")
+        if added.shape[0] and removed.shape[0]:
+            overlap = np.intersect1d(
+                added[:, 0] * n + added[:, 1], removed[:, 0] * n + removed[:, 1]
+            )
+            if overlap.size:
+                u, v = divmod(int(overlap[0]), n)
+                raise GraphError(
+                    f"edge ({u}, {v}) appears in both the add and remove batch"
+                )
+
+        per_add: dict[int, list[int]] = {}
+        per_remove: dict[int, list[int]] = {}
+        for u, v in added:
+            per_add.setdefault(int(u), []).append(int(v))
+            per_add.setdefault(int(v), []).append(int(u))
+        for u, v in removed:
+            per_remove.setdefault(int(u), []).append(int(v))
+            per_remove.setdefault(int(v), []).append(int(u))
+
+        new_adj = dict(self._adj)
+        degrees = np.array(self._degrees, dtype=np.int64, copy=True)
+        for node in sorted(set(per_add) | set(per_remove)):
+            current = self._neighbors_array(node)
+            add_arr = np.array(sorted(per_add.get(node, ())), dtype=np.int64)
+            rem_arr = np.array(sorted(per_remove.get(node, ())), dtype=np.int64)
+            if add_arr.size and current.size:
+                pos = np.searchsorted(current, add_arr)
+                in_bounds = pos < current.size
+                present = np.zeros(add_arr.size, dtype=bool)
+                present[in_bounds] = current[pos[in_bounds]] == add_arr[in_bounds]
+                if present.any():
+                    dup = int(add_arr[np.flatnonzero(present)[0]])
+                    raise GraphError(f"duplicate edge ({node}, {dup})")
+            if rem_arr.size:
+                found = np.zeros(rem_arr.size, dtype=bool)
+                if current.size:
+                    pos = np.searchsorted(current, rem_arr)
+                    in_bounds = pos < current.size
+                    found[in_bounds] = current[pos[in_bounds]] == rem_arr[in_bounds]
+                if not found.all():
+                    gone = int(rem_arr[np.flatnonzero(~found)[0]])
+                    raise GraphError(
+                        f"cannot remove missing edge ({node}, {gone})"
+                    )
+            merged = np.union1d(current, add_arr)
+            if rem_arr.size:
+                merged = merged[~np.isin(merged, rem_arr)]
+            new_adj[node] = merged
+            degrees[node] = merged.size
+
+        event = MutationEvent(
+            epoch_before=self.epoch,
+            epoch=self.epoch + 1,
+            added=added,
+            removed=removed,
+        )
+        return DeltaGraph._from_parts(
+            base=self._base,
+            adj=new_adj,
+            degrees=degrees,
+            m=self._m + int(added.shape[0]) - int(removed.shape[0]),
+            delta_edges=self._delta_edges
+            + int(added.shape[0])
+            + int(removed.shape[0]),
+            epoch=self.epoch + 1,
+            event=event,
+        )
+
+    def add_edges(self, edges) -> "DeltaGraph":
+        """Snapshot with ``edges`` added (each must be absent)."""
+        return self.apply(add=edges)
+
+    def remove_edges(self, edges) -> "DeltaGraph":
+        """Snapshot with ``edges`` removed (each must be present)."""
+        return self.apply(remove=edges)
+
+    # ------------------------------------------------------------------ #
+    # Overlay bookkeeping
+    # ------------------------------------------------------------------ #
+    @property
+    def base(self) -> Graph:
+        """The underlying immutable CSR graph (epoch of the last compaction)."""
+        return self._base
+
+    @property
+    def delta_edges(self) -> int:
+        """Cumulative added+removed edges since the base CSR was built."""
+        return self._delta_edges
+
+    @property
+    def patched_nodes(self) -> int:
+        """Number of adjacency rows the overlay overrides."""
+        return len(self._adj)
+
+    def should_compact(self, threshold: int | None = None) -> bool:
+        """Whether the delta has outgrown the (default or given) budget."""
+        if threshold is None:
+            threshold = default_compaction_threshold(self._base.num_edges)
+        return self._delta_edges > threshold
+
+    def compacted(self) -> Graph:
+        """Fold the overlay into a plain CSR :class:`Graph` (cached).
+
+        The result is byte-identical to rebuilding from the full edge list:
+        patch rows are sorted, untouched rows are copied verbatim from the
+        base, and ``indptr`` is the cumulative sum of the merged degrees —
+        exactly the layout ``Graph.__init__``'s lexsort produces.
+        """
+        with self._lock:
+            if self._compacted is None:
+                self._compacted = self._build_compacted()
+            return self._compacted
+
+    def _build_compacted(self) -> Graph:
+        if not self._adj:
+            return self._base
+        n = self.num_nodes
+        degrees = np.array(self._degrees, dtype=np.int64, copy=True)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(degrees, out=indptr[1:])
+        indices = np.empty(int(indptr[-1]), dtype=np.int64)
+        base_indptr = self._base.indptr
+        base_indices = self._base.indices
+        prev = 0
+        for node in sorted(self._adj):
+            if node > prev:
+                block = base_indices[base_indptr[prev] : base_indptr[node]]
+                indices[indptr[prev] : indptr[prev] + block.size] = block
+            row = self._adj[node]
+            indices[indptr[node] : indptr[node + 1]] = row
+            prev = node + 1
+        if prev < n:
+            block = base_indices[base_indptr[prev] :]
+            indices[indptr[prev] :] = block
+        return Graph.from_csr_arrays(n, self._m, indptr, indices, degrees)
+
+    def for_backend(self, backend) -> "Graph | DeltaGraph":
+        """Adapt this snapshot for an execution backend.
+
+        Backends that set ``supports_overlay = True`` (the vectorized
+        kernels) read through :meth:`gather_neighbors`; everything else
+        (numba, parallel workers over shared-memory CSR) gets the
+        compacted plain graph.
+        """
+        if getattr(backend, "supports_overlay", False):
+            return self
+        return self.compacted()
+
+    # ------------------------------------------------------------------ #
+    # Vectorized read-through for batch kernels
+    # ------------------------------------------------------------------ #
+    def _gather_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        with self._lock:
+            if self._patch_rows is None:
+                rows = np.full(self.num_nodes, -1, dtype=np.int64)
+                patched = sorted(self._adj)
+                lengths = np.array(
+                    [self._adj[u].size for u in patched], dtype=np.int64
+                )
+                patch_indptr = np.zeros(len(patched) + 1, dtype=np.int64)
+                np.cumsum(lengths, out=patch_indptr[1:])
+                patch_indices = (
+                    np.concatenate([self._adj[u] for u in patched])
+                    if patched
+                    else np.empty(0, dtype=np.int64)
+                )
+                for i, u in enumerate(patched):
+                    rows[u] = i
+                self._patch_rows = rows
+                self._patch_indptr = patch_indptr
+                self._patch_indices = patch_indices
+            return self._patch_rows, self._patch_indptr, self._patch_indices
+
+    def gather_neighbors(self, nodes: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+        """Batch neighbor lookup: the ``offsets``-th neighbor of each node.
+
+        The overlay equivalent of ``indices[indptr[nodes] + offsets]``:
+        unpatched positions gather straight from the base CSR, patched ones
+        from a compact patch-CSR built lazily per snapshot.  Callers
+        guarantee ``0 <= offsets < degrees[nodes]``.
+        """
+        patch_rows, patch_indptr, patch_indices = self._gather_arrays()
+        rows = patch_rows[nodes]
+        patched = rows >= 0
+        if not patched.any():
+            return self._base.indices[self._base.indptr[nodes] + offsets]
+        out = np.empty(nodes.shape, dtype=np.int64)
+        unpatched = ~patched
+        if unpatched.any():
+            plain = nodes[unpatched]
+            out[unpatched] = self._base.indices[
+                self._base.indptr[plain] + offsets[unpatched]
+            ]
+        hit = rows[patched]
+        out[patched] = patch_indices[patch_indptr[hit] + offsets[patched]]
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Graph read API (scalar)
+    # ------------------------------------------------------------------ #
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes ``n`` (fixed across mutations)."""
+        return self._base.num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges ``m`` in this snapshot."""
+        return self._m
+
+    @property
+    def average_degree(self) -> float:
+        """Average degree ``2m / n``."""
+        if self.num_nodes == 0:
+            raise EmptyGraphError("average degree of an empty graph is undefined")
+        return 2.0 * self._m / self.num_nodes
+
+    @property
+    def total_volume(self) -> int:
+        """Sum of all degrees, ``2m``."""
+        return 2 * self._m
+
+    @property
+    def csr_nbytes(self) -> int:
+        """Bytes held by the base CSR plus the overlay's patch rows."""
+        patch = sum(row.nbytes for row in self._adj.values())
+        # The degree array is copied on the first mutation (patches exist).
+        return self._base.csr_nbytes + patch + (
+            self._degrees.nbytes if self._adj else 0
+        )
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Read-only merged degree array for this snapshot."""
+        view = self._degrees.view()
+        view.flags.writeable = False
+        return view
+
+    def __len__(self) -> int:
+        return self.num_nodes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DeltaGraph(n={self.num_nodes}, m={self._m}, "
+            f"epoch={self.epoch}, delta={self._delta_edges})"
+        )
+
+    def nodes(self) -> range:
+        """Iterate over all node ids."""
+        return range(self.num_nodes)
+
+    def has_node(self, node: int) -> bool:
+        """Whether ``node`` is a valid node id."""
+        return 0 <= node < self.num_nodes
+
+    def _check_node(self, node: int) -> None:
+        if not self.has_node(node):
+            raise NodeNotFoundError(node, self.num_nodes)
+
+    def degree(self, node: int) -> int:
+        """Degree of ``node`` in this snapshot."""
+        self._check_node(node)
+        return int(self._degrees[node])
+
+    def _neighbors_array(self, node: int) -> np.ndarray:
+        patch = self._adj.get(node)
+        if patch is not None:
+            return patch
+        indptr = self._base.indptr
+        return self._base.indices[indptr[node] : indptr[node + 1]]
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """Neighbors of ``node`` as a read-only sorted array."""
+        self._check_node(node)
+        view = self._neighbors_array(node).view()
+        view.flags.writeable = False
+        return view
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether edge ``(u, v)`` exists in this snapshot."""
+        self._check_node(u)
+        self._check_node(v)
+        nbrs = self._neighbors_array(u)
+        pos = np.searchsorted(nbrs, v)
+        return bool(pos < len(nbrs) and nbrs[pos] == v)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over each undirected edge once, as ``(u, v)`` with u < v."""
+        for u in range(self.num_nodes):
+            for v in self._neighbors_array(u):
+                if u < v:
+                    yield (u, int(v))
+
+    def random_neighbor(self, node: int, rng: np.random.Generator) -> int:
+        """Uniformly sample a neighbor of ``node``."""
+        self._check_node(node)
+        nbrs = self._neighbors_array(node)
+        if nbrs.size == 0:
+            raise GraphError(f"node {node} has no neighbors to sample")
+        return int(nbrs[rng.integers(nbrs.size)])
+
+    def volume(self, nodes: Iterable[int]) -> int:
+        """Sum of degrees over ``nodes`` in this snapshot."""
+        node_arr = np.fromiter((int(v) for v in nodes), dtype=np.int64)
+        if node_arr.size == 0:
+            return 0
+        invalid = (node_arr < 0) | (node_arr >= self.num_nodes)
+        if invalid.any():
+            raise NodeNotFoundError(
+                int(node_arr[np.flatnonzero(invalid)[0]]), self.num_nodes
+            )
+        return int(self._degrees[node_arr].sum())
+
+    def cut_size(self, nodes: Iterable[int]) -> int:
+        """Number of edges with exactly one endpoint in ``nodes``."""
+        node_arr = np.unique(
+            np.fromiter((int(v) for v in nodes), dtype=np.int64)
+        )
+        if node_arr.size == 0:
+            return 0
+        invalid = (node_arr < 0) | (node_arr >= self.num_nodes)
+        if invalid.any():
+            raise NodeNotFoundError(
+                int(node_arr[np.flatnonzero(invalid)[0]]), self.num_nodes
+            )
+        member = np.zeros(self.num_nodes, dtype=bool)
+        member[node_arr] = True
+        crossing = 0
+        for node in node_arr:
+            nbrs = self._neighbors_array(int(node))
+            if nbrs.size:
+                crossing += int(np.count_nonzero(~member[nbrs]))
+        return crossing
+
+    # ------------------------------------------------------------------ #
+    # Whole-graph views (delegate to the compacted CSR)
+    # ------------------------------------------------------------------ #
+    def adjacency_matrix(self):
+        """Sparse adjacency matrix of this snapshot (via compaction)."""
+        return self.compacted().adjacency_matrix()
+
+    def transition_matrix(self):
+        """Random-walk transition matrix of this snapshot (via compaction)."""
+        return self.compacted().transition_matrix()
+
+    def connected_component(self, start: int) -> set[int]:
+        """Nodes reachable from ``start`` in this snapshot (BFS)."""
+        self._check_node(start)
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            next_frontier: list[int] = []
+            for node in frontier:
+                for nbr in self._neighbors_array(node):
+                    nbr = int(nbr)
+                    if nbr not in seen:
+                        seen.add(nbr)
+                        next_frontier.append(nbr)
+            frontier = next_frontier
+        return seen
+
+    def is_connected(self) -> bool:
+        """Whether this snapshot is connected."""
+        if self.num_nodes == 0:
+            return True
+        return len(self.connected_component(0)) == self.num_nodes
+
+    def subgraph(self, nodes: Sequence[int]) -> tuple[Graph, dict[int, int]]:
+        """Induced subgraph on ``nodes`` (via compaction)."""
+        return self.compacted().subgraph(nodes)

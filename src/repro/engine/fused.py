@@ -340,6 +340,9 @@ def run_fused_queries(
     from repro import engine as engine_module
 
     engine = get_backend(backend)
+    from repro.engine.multi import _adapt_graph
+
+    graph = _adapt_graph(graph, engine)
     if not supports_fused(engine):
         raise ParameterError(
             f"backend {getattr(engine, 'name', engine)!r} does not implement "

@@ -207,6 +207,22 @@ def _attribute_counters(
             task_counters.extras["fused_walks"] = total
 
 
+def _adapt_graph(graph: "Graph", engine: Backend) -> "Graph":
+    """Resolve a graph view for ``engine`` via the optional adaptation hook.
+
+    A :class:`~repro.dynamic.delta.DeltaGraph` overlay implements
+    ``for_backend``: backends advertising ``supports_overlay`` walk it
+    directly, everything else (numba, parallel workers over shared-memory
+    CSR) receives its compacted plain-CSR equivalent.  Plain graphs have no
+    hook and pass through untouched.  Duck-typed so this module never
+    imports :mod:`repro.dynamic`.
+    """
+    adapt = getattr(graph, "for_backend", None)
+    if adapt is None:
+        return graph
+    return adapt(engine)
+
+
 def _split_by_size(indices: list[int], tasks: Sequence[WalkTask], cap: int) -> list[list[int]]:
     """Greedily pack a fuse group into sub-groups of at most ``cap`` walks.
 
@@ -261,6 +277,7 @@ def run_walk_tasks(
     from repro import engine as engine_module
 
     engine = get_backend(backend)
+    graph = _adapt_graph(graph, engine)
     if counters_list is not None and len(counters_list) != len(tasks):
         raise ParameterError(
             f"counters_list length {len(counters_list)} != number of tasks {len(tasks)}"
@@ -349,6 +366,7 @@ def execute_plans(
     from repro.engine.fused import fusion_enabled, run_fused_queries, supports_fused
 
     engine = get_backend(backend)
+    graph = _adapt_graph(graph, engine)
     fuse = fusion_enabled() and supports_fused(engine)
     if traces is not None and len(traces) != len(plans):
         raise ParameterError(

@@ -28,6 +28,28 @@ from repro.hkpr.poisson import PoissonWeights
 from repro.utils.counters import OperationCounters
 
 
+def _neighbor_gather(graph):
+    """Batch neighbor-lookup closure: ``gather(cur, offsets)``.
+
+    Plain CSR graphs resolve to the raw fancy-index expression
+    ``indices[indptr[cur] + offsets]``; a
+    :class:`~repro.dynamic.delta.DeltaGraph` overlay supplies its own
+    :meth:`gather_neighbors` that reads patched rows from the delta and
+    everything else from the base CSR.  This is the only graph access in
+    the kernels' hot loops besides the ``degrees`` array, so it is all an
+    overlay needs to override.
+    """
+    gather = getattr(graph, "gather_neighbors", None)
+    if gather is not None:
+        return gather
+    indptr, indices = graph.indptr, graph.indices
+
+    def csr_gather(cur: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+        return indices[indptr[cur] + offsets]
+
+    return csr_gather
+
+
 def _validated_starts(graph: Graph, start_nodes) -> np.ndarray:
     """Copy of ``start_nodes`` with the reference backend's validation.
 
@@ -81,7 +103,7 @@ def walk_batch_validated(
     num_walks = current.size
     if num_walks == 0:
         return current
-    indptr, indices = graph.indptr, graph.indices
+    gather = _neighbor_gather(graph)
     degrees = graph.degrees
     stop_table = weights.stop_probability_array()
     max_hop = weights.max_hop
@@ -97,7 +119,7 @@ def walk_batch_validated(
         if pending.size:
             cur = current[pending]
             offsets = rng.integers(0, degrees[cur])
-            current[pending] = indices[indptr[cur] + offsets]
+            current[pending] = gather(cur, offsets)
             hops[pending] += 1
             if step_counts is not None:
                 step_counts[pending] += 1
@@ -122,7 +144,7 @@ def poisson_walk_batch_validated(
     num_walks = current.size
     if num_walks == 0:
         return current
-    indptr, indices = graph.indptr, graph.indices
+    gather = _neighbor_gather(graph)
     degrees = graph.degrees
 
     remaining = rng.poisson(weights.t, size=num_walks).astype(np.int64)
@@ -134,7 +156,7 @@ def poisson_walk_batch_validated(
     while pending.size:
         cur = current[pending]
         offsets = rng.integers(0, degrees[cur])
-        nxt = indices[indptr[cur] + offsets]
+        nxt = gather(cur, offsets)
         current[pending] = nxt
         remaining[pending] -= 1
         if step_counts is not None:
@@ -160,7 +182,7 @@ def geometric_walk_batch_validated(
     num_walks = current.size
     if num_walks == 0:
         return current
-    indptr, indices = graph.indptr, graph.indices
+    gather = _neighbor_gather(graph)
     degrees = graph.degrees
 
     pending = np.arange(num_walks)
@@ -172,7 +194,7 @@ def geometric_walk_batch_validated(
         if pending.size:
             cur = current[pending]
             offsets = rng.integers(0, degrees[cur])
-            current[pending] = indices[indptr[cur] + offsets]
+            current[pending] = gather(cur, offsets)
             if step_counts is not None:
                 step_counts[pending] += 1
             total_steps += pending.size
@@ -198,6 +220,10 @@ class VectorizedBackend:
     #: residue-distribution start sampling and the walk batch run as one
     #: pass, with no per-query Python re-entry.
     supports_fused = True
+    #: The kernels read neighbors through :func:`_neighbor_gather`, so a
+    #: :class:`~repro.dynamic.delta.DeltaGraph` overlay can be walked
+    #: directly without compaction (:meth:`DeltaGraph.for_backend`).
+    supports_overlay = True
 
     def walk_batch(
         self,

@@ -65,6 +65,10 @@ class WalkIndex:
         #: series; set by :meth:`GraphRegistry.attach_index`.  ``None``
         #: (standalone/library use) skips metrics recording.
         self.metrics_label: str | None = None
+        #: Set once the registered graph mutates past this index's epoch
+        #: (:meth:`mark_stale`).  A stale index refuses lookups — the stored
+        #: sketches sample the *old* graph's walk distributions.
+        self.stale = False
 
     # -- construction -------------------------------------------------
 
@@ -122,6 +126,24 @@ class WalkIndex:
                 "`index build` — rebuild the index)"
             )
 
+    def mark_stale(self) -> None:
+        """Flag this index as stale and record ``index_stale_total``.
+
+        Called by the registry when the graph it was attached to mutates
+        (the fingerprint can no longer match).  Marking is one-way; the
+        only way back is rebuilding the index against the new graph.
+        """
+        self.stale = True
+        if self.metrics_label is None:
+            return
+        from repro.obs import active_registry
+
+        active_registry().counter(
+            "index_stale_total",
+            "Walk-sketch indexes detached because their graph mutated.",
+            ("graph",),
+        ).labels(graph=self.metrics_label).inc()
+
     # -- serving -------------------------------------------------------
 
     def lookup(
@@ -136,6 +158,11 @@ class WalkIndex:
         """
         if kind not in rwix.KIND_CODES:
             raise WalkIndexError(f"unknown walk-law kind {kind!r}")
+        if self.stale:
+            raise WalkIndexError(
+                "stale walk index: the graph it was built for has mutated "
+                "(rebuild the index against the current epoch)"
+            )
         span = self._table.get((rwix.KIND_CODES[kind], int(node), float(bucket)))
         if span is None:
             with self._lock:
@@ -212,6 +239,7 @@ class WalkIndex:
             "graph_m": self.graph_m,
             "fingerprint": f"{self.fingerprint:#018x}",
             "storage": self.backing.get("kind", "memory"),
+            "stale": self.stale,
         }
 
     def stats(self) -> dict:

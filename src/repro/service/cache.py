@@ -126,6 +126,26 @@ class ResultCache:
         with self._lock:
             return self._entries.pop(key, None) is not None
 
+    def invalidate_group(self, group: str) -> int:
+        """Drop every entry whose ``group_of(key)`` equals ``group``.
+
+        The per-graph eviction hook: graph unregistration and epoch bumps
+        both funnel through here (via the registry's invalidation hooks),
+        so one code path answers "forget everything about this graph".
+        Epoch-aware keys already make stale entries unreachable after a
+        bump; eager eviction stops them from squatting on LRU capacity.
+        Counts the dropped entries; 0 when ``group_of`` was not configured.
+        """
+        if self._group_of is None:
+            return 0
+        with self._lock:
+            doomed = [
+                key for key in self._entries if self._group_of(key) == group
+            ]
+            for key in doomed:
+                del self._entries[key]
+            return len(doomed)
+
     def clear(self) -> None:
         """Drop every entry (counters are preserved)."""
         with self._lock:

@@ -16,6 +16,14 @@ Endpoints:
   metrics_enabled=False)`` / ``repro-cli serve --no-metrics``).
 * ``GET /trace/recent?n=K`` — the most recent finished query traces,
   newest first (spans with per-phase timings).
+* ``POST /graphs/<name>/edges`` — body ``{"add": [[u, v], ...],
+  "remove": [[u, v], ...]}``; applies an epoch-bumping edge mutation to a
+  served graph (see :mod:`repro.dynamic`) and responds with the mutation
+  summary (new epoch, edge count, whether the delta compacted, whether a
+  walk index was detached).  ``404`` for an unknown graph, ``400`` for
+  invalid edges (out-of-range, self-loops, duplicates, absent removals).
+* ``DELETE /graphs/<name>`` — unregister a served graph, evicting its
+  cached results.
 * ``GET /graphs`` — registered graphs and their sizes.
 * ``GET /methods`` — the servable methods with their full declarative
   parameter schemas, rendered straight from the estimator registry
@@ -35,9 +43,14 @@ import concurrent.futures
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from urllib.parse import parse_qs, urlsplit
+from urllib.parse import parse_qs, unquote, urlsplit
 
-from repro.exceptions import QueryTimeoutError, ReproError, ServiceOverloadedError
+from repro.exceptions import (
+    QueryTimeoutError,
+    ReproError,
+    ServiceError,
+    ServiceOverloadedError,
+)
 from repro.obs.metrics import CONTENT_TYPE as METRICS_CONTENT_TYPE
 from repro.service.planner import DEFAULT_TOP_K
 from repro.service.service import QueryService
@@ -124,8 +137,17 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         else:
             self._send_json(404, {"error": f"unknown path {self.path!r}"})
 
+    @staticmethod
+    def _mutation_target(path: str) -> str | None:
+        """The graph name in ``/graphs/<name>/edges``, or ``None``."""
+        segments = path.split("/")
+        if len(segments) == 4 and segments[:2] == ["", "graphs"] and segments[3] == "edges":
+            return unquote(segments[2]) or None
+        return None
+
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
-        if self.path != "/query":
+        mutation_target = self._mutation_target(urlsplit(self.path).path)
+        if self.path != "/query" and mutation_target is None:
             # The body is never read on this path — close so a keep-alive
             # connection does not parse its next request from body bytes.
             self._send_json(404, {"error": f"unknown path {self.path!r}"}, close=True)
@@ -150,6 +172,9 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             return
         if not isinstance(payload, dict):
             self._send_json(400, {"error": "request body must be a JSON object"})
+            return
+        if mutation_target is not None:
+            self._handle_mutation(mutation_target, payload)
             return
         missing = [key for key in ("graph", "method", "seed_node") if key not in payload]
         if missing:
@@ -201,6 +226,53 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             self._send_json(400, {"error": str(error)})
         except Exception as error:  # noqa: BLE001 - keep the server alive
             self._send_json(500, {"error": f"internal error: {error}"})
+
+    def _handle_mutation(self, name: str, payload: dict) -> None:
+        """``POST /graphs/<name>/edges`` — apply an edge mutation."""
+        unknown = [key for key in payload if key not in ("add", "remove")]
+        if unknown:
+            self._send_json(
+                400,
+                {"error": f"unknown field(s) {unknown}; expected add/remove"},
+            )
+            return
+        add = payload.get("add", [])
+        remove = payload.get("remove", [])
+        if not isinstance(add, list) or not isinstance(remove, list):
+            self._send_json(
+                400, {"error": "add/remove must be lists of [u, v] pairs"}
+            )
+            return
+        try:
+            # Resolve first so an unknown graph is a 404 (resource missing)
+            # rather than the 400 a bad edge batch earns below.
+            self.service.registry.get(name)
+        except ServiceError as error:
+            self._send_json(404, {"error": str(error)})
+            return
+        try:
+            summary = self.service.mutate_graph(name, add=add, remove=remove)
+        except ReproError as error:
+            self._send_json(400, {"error": str(error)})
+        except Exception as error:  # noqa: BLE001 - keep the server alive
+            self._send_json(500, {"error": f"internal error: {error}"})
+        else:
+            self._send_json(200, summary)
+
+    def do_DELETE(self) -> None:  # noqa: N802 - stdlib naming
+        segments = urlsplit(self.path).path.split("/")
+        if len(segments) == 3 and segments[:2] == ["", "graphs"] and segments[2]:
+            name = unquote(segments[2])
+            try:
+                self.service.remove_graph(name)
+            except ServiceError as error:
+                self._send_json(404, {"error": str(error)})
+            except Exception as error:  # noqa: BLE001 - keep the server alive
+                self._send_json(500, {"error": f"internal error: {error}"})
+            else:
+                self._send_json(200, {"removed": name})
+            return
+        self._send_json(404, {"error": f"unknown path {self.path!r}"}, close=True)
 
 
 def make_server(

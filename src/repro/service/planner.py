@@ -106,6 +106,10 @@ class QueryRequest:
     rng: int | None = None
     top_k: int = DEFAULT_TOP_K
     timeout_ms: float | None = None
+    #: Graph epoch observed at admission.  Part of the cache key: results
+    #: computed against an older epoch must never answer queries admitted
+    #: after a mutation, even if eager group invalidation raced.
+    epoch: int = 0
 
     @property
     def pinned(self) -> bool:
@@ -120,10 +124,14 @@ class QueryRequest:
         ``timeout_ms`` bounds execution time without changing the answer —
         a cached result is valid for any deadline.  Method aliases were
         resolved at normalization, so an aliased request shares the
-        canonical spelling's key.
+        canonical spelling's key.  The graph ``epoch`` *is* part of the
+        key: an edge mutation bumps the epoch, so results computed before
+        the mutation become unreachable even before the registry's eager
+        per-graph invalidation hook has evicted them.
         """
         return (
             self.graph,
+            self.epoch,
             self.method,
             self.seed_node,
             tuple(sorted(self.params.items())),
@@ -187,6 +195,7 @@ def normalize_request(
     return QueryRequest(
         graph=graph, method=spec.name, seed_node=seed_node,
         params=normalized, rng=rng, top_k=top_k, timeout_ms=timeout_ms,
+        epoch=entry.epoch if entry is not None else 0,
     )
 
 

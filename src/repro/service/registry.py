@@ -112,7 +112,13 @@ def build_from_spec(spec: str) -> Graph:
 
 @dataclass
 class GraphEntry:
-    """One registered graph plus its warm per-graph caches."""
+    """One registered graph plus its warm per-graph caches.
+
+    Mutable entries: :meth:`mutate` swaps ``graph`` for a new
+    :class:`~repro.dynamic.delta.DeltaGraph` snapshot and bumps ``epoch``.
+    Reads are unsynchronized attribute loads — in-flight queries keep the
+    snapshot they resolved, so they never observe a half-applied mutation.
+    """
 
     name: str
     graph: Graph
@@ -127,14 +133,76 @@ class GraphEntry:
     #: Optional precomputed walk-sketch index (``.rwix``), attached via
     #: :meth:`GraphRegistry.attach_index` after it passes ``verify_graph``.
     index: object | None = None
-    _weights: dict[float, PoissonWeights] = field(default_factory=dict)
+    #: Monotone mutation counter: 0 for the as-registered graph, +1 per
+    #: successful :meth:`mutate` batch.  Recorded in cache keys and
+    #: ``/stats`` — the epoch contract every downstream consumer keys on.
+    epoch: int = 0
+    #: Delta-edge budget before a mutation folds the overlay back into
+    #: plain CSR; ``None`` uses
+    #: :func:`repro.dynamic.delta.default_compaction_threshold`.
+    compaction_threshold: int | None = None
+    #: Cumulative count of indexes detached because a mutation staled them.
+    stale_indexes: int = 0
+    #: Weight cache entries are ``(epoch, weights)`` pairs.  ``PoissonWeights``
+    #: themselves are graph-independent, but guarding by epoch keeps the
+    #: cache's lifecycle aligned with every other per-graph cache — a value
+    #: built against an older epoch never wins a race against a mutation.
+    _weights: dict[float, tuple[int, PoissonWeights]] = field(default_factory=dict)
+    _mutation_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def poisson_weights(self, t: float) -> PoissonWeights:
-        """The cached ``PoissonWeights`` for heat constant ``t``."""
-        weights = self._weights.get(t)
-        if weights is None:
-            weights = self._weights[t] = PoissonWeights(t)
+        """The cached ``PoissonWeights`` for heat constant ``t`` at this epoch."""
+        epoch = self.epoch
+        cached = self._weights.get(t)
+        if cached is not None and cached[0] == epoch:
+            return cached[1]
+        weights = PoissonWeights(t)
+        # Concurrent misses may build twice; the insert tagged with the
+        # current epoch wins and both objects are interchangeable.
+        self._weights[t] = (epoch, weights)
         return weights
+
+    def csr_graph(self) -> Graph:
+        """This entry's graph as plain CSR (compacting an overlay if needed)."""
+        compact = getattr(self.graph, "compacted", None)
+        return compact() if compact is not None else self.graph
+
+    def mutate(self, *, add=(), remove=()) -> tuple["MutationEvent", bool]:
+        """Apply one edge-mutation batch; returns ``(event, compacted)``.
+
+        Serialized per entry: builds the next
+        :class:`~repro.dynamic.delta.DeltaGraph` snapshot, bumps ``epoch``,
+        folds the overlay into plain CSR once the cumulative delta exceeds
+        the compaction threshold (the new snapshot then wraps the rebuilt
+        base with an empty delta), and detaches any attached walk-sketch
+        index after marking it stale — its fingerprint can no longer match.
+        """
+        from repro.dynamic.delta import DeltaGraph
+
+        with self._mutation_lock:
+            graph = self.graph
+            view = (
+                graph
+                if isinstance(graph, DeltaGraph)
+                else DeltaGraph(graph, epoch=self.epoch)
+            )
+            new_view = view.apply(add=add, remove=remove)
+            event = new_view.last_event
+            compacted = new_view.should_compact(self.compaction_threshold)
+            if compacted:
+                new_view = DeltaGraph(new_view.compacted(), epoch=new_view.epoch)
+            self.graph = new_view
+            self.epoch = event.epoch
+            index = self.index
+            if index is not None:
+                self.index = None
+                self.stale_indexes += 1
+                mark = getattr(index, "mark_stale", None)
+                if mark is not None:
+                    mark()
+        return event, compacted
 
     def describe(self) -> dict:
         """JSON-able summary for the ``/graphs`` endpoint."""
@@ -149,6 +217,9 @@ class GraphEntry:
             "average_degree": round(self.graph.average_degree, 3)
             if self.graph.num_nodes
             else 0.0,
+            "epoch": self.epoch,
+            "delta_edges": int(getattr(self.graph, "delta_edges", 0)),
+            "stale_indexes": self.stale_indexes,
         }
         if self.index is not None:
             summary["index_sketches"] = self.index.num_sketches
@@ -158,16 +229,64 @@ class GraphEntry:
 class GraphRegistry:
     """Thread-safe name -> :class:`GraphEntry` mapping.
 
-    All mutation happens through ``add_*`` methods; lookups after startup
-    are lock-protected dictionary reads.  Entries are immutable apart from
-    their weight caches, where a concurrent miss may build the same
-    ``PoissonWeights`` twice — a benign race (the objects are
-    interchangeable and one insert wins).
+    Registration happens through ``add_*`` methods; lookups after startup
+    are lock-protected dictionary reads.  Graphs mutate through
+    :meth:`mutate` (epoch-versioned edge batches, serialized per entry) and
+    leave through :meth:`remove`.  Both invalidate downstream per-graph
+    state through one code path: every hook registered with
+    :meth:`add_invalidation_hook` is called with the graph name (the
+    service wires the result cache's ``invalidate_group`` here).  Entry
+    weight caches are guarded by epoch, so a ``PoissonWeights`` built
+    against an older epoch can never win a race against a mutation.
     """
 
     def __init__(self) -> None:
         self._entries: dict[str, GraphEntry] = {}
         self._lock = threading.Lock()
+        self._invalidation_hooks: list = []
+
+    def add_invalidation_hook(self, hook) -> None:
+        """Register ``hook(name)`` to run after a mutation or removal."""
+        self._invalidation_hooks.append(hook)
+
+    def _invalidate(self, name: str) -> None:
+        for hook in self._invalidation_hooks:
+            hook(name)
+
+    def mutate(self, name: str, *, add=(), remove=()) -> dict:
+        """Apply one edge-mutation batch to the graph registered as ``name``.
+
+        Returns a JSON-able summary (new epoch, counts, whether the overlay
+        was compacted, whether an index was detached).  Invalidation hooks
+        run after the new snapshot is installed, so a cache refilled by a
+        racing query can only hold entries keyed to some epoch's snapshot —
+        never a mix.
+        """
+        entry = self.get(name)
+        had_index = entry.index is not None
+        event, compacted = entry.mutate(add=add, remove=remove)
+        self._invalidate(name)
+        return {
+            "graph": name,
+            "epoch": event.epoch,
+            "added": int(event.added.shape[0]),
+            "removed": int(event.removed.shape[0]),
+            "num_edges": entry.graph.num_edges,
+            "compacted": compacted,
+            "delta_edges": int(getattr(entry.graph, "delta_edges", 0)),
+            "index_detached": had_index,
+        }
+
+    def remove(self, name: str) -> GraphEntry:
+        """Unregister ``name`` and run the invalidation hooks; returns the entry."""
+        with self._lock:
+            entry = self._entries.pop(name, None)
+        if entry is None:
+            raise ServiceError(
+                f"unknown graph {name!r}; registered: {self.names()}"
+            )
+        self._invalidate(name)
+        return entry
 
     def add_graph(
         self,
@@ -270,7 +389,11 @@ class GraphRegistry:
             from repro.index import WalkIndex
 
             index = WalkIndex.from_file(index, mmap=mmap)
-        index.verify_graph(entry.graph)
+        # Verify against plain CSR: a mutated entry serves a DeltaGraph
+        # overlay, whose compaction is byte-identical to a from-scratch
+        # rebuild — so an index built against the *current* epoch attaches
+        # cleanly while any older build fails the fingerprint.
+        index.verify_graph(entry.csr_graph())
         index.metrics_label = name
         entry.index = index
         return entry

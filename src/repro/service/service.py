@@ -334,6 +334,11 @@ class QueryService:
             if cache_entries > 0
             else None
         )
+        if self.cache is not None:
+            # One eviction path for "this graph changed": both unregister
+            # (GraphRegistry.remove) and edge mutations (GraphRegistry.mutate)
+            # fire the invalidation hooks, which drop the graph's cache group.
+            self.registry.add_invalidation_hook(self.cache.invalidate_group)
         self._max_inflight_walks = max_inflight_walks
         self._inflight_walks = 0
         self._inflight_lock = threading.Lock()
@@ -481,6 +486,27 @@ class QueryService:
         """Synchronous :meth:`submit` (blocks for the response)."""
         return self.submit(*args, **kwargs).result(timeout=timeout)
 
+    # -------------------------------------------------------------- #
+    # Mutation path
+    # -------------------------------------------------------------- #
+    def mutate_graph(self, name: str, *, add=(), remove=()) -> dict:
+        """Apply an edge mutation to a served graph; returns the summary.
+
+        Thin wrapper over :meth:`GraphRegistry.mutate` that runs with this
+        service's metrics registry active, so the ``index_stale_total``
+        counter emitted when a walk index is detached lands in the same
+        exposition as the serving metrics.  Cache invalidation happens via
+        the registry's hooks (wired in ``__init__``); in-flight queries
+        keep the entry/graph snapshot they resolved at admission.
+        """
+        with use_registry(self.metrics):
+            return self.registry.mutate(name, add=add, remove=remove)
+
+    def remove_graph(self, name: str) -> None:
+        """Unregister a graph, evicting its cached results via the hooks."""
+        with use_registry(self.metrics):
+            self.registry.remove(name)
+
     def stats(self) -> dict:
         """Telemetry + cache + queue + index metrics (the ``/stats`` payload)."""
         snapshot = self.telemetry.snapshot()
@@ -526,6 +552,9 @@ class QueryService:
                 "storage": info["storage"],
                 "load_seconds": info["load_seconds"],
                 "csr_bytes": info["csr_bytes"],
+                "epoch": info["epoch"],
+                "delta_edges": info["delta_edges"],
+                "stale_indexes": info["stale_indexes"],
             }
             for info in self.registry.describe()
         }

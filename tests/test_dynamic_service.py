@@ -1,0 +1,292 @@
+"""Service-layer integration tests for dynamic graphs.
+
+Epoch bumps through :meth:`GraphRegistry.mutate`, one-code-path cache
+invalidation (mutation and removal both evict via the registry hooks),
+walk-index staleness, and the ``POST /graphs/<name>/edges`` HTTP endpoint.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.dynamic import DeltaGraph
+from repro.exceptions import GraphError, ServiceError, WalkIndexError
+from repro.graph.generators import chung_lu_graph, power_law_degree_sequence
+from repro.index import build_walk_index
+from repro.service import GraphRegistry, QueryService, ResultCache
+from repro.service.http import serve_in_thread
+
+
+@pytest.fixture
+def graph():
+    degs = power_law_degree_sequence(300, 2.5, 2, 25, seed=3)
+    return chung_lu_graph(degs, seed=3, connected=False)
+
+
+def _absent_edge(graph, start=0):
+    u = start
+    v = u + 1
+    while graph.has_edge(u, v) or u == v:
+        v += 1
+    return [u, v]
+
+
+class TestRegistryMutation:
+    def test_mutate_bumps_epoch_and_swaps_snapshot(self, graph):
+        registry = GraphRegistry()
+        entry = registry.add_graph("g", graph)
+        before = entry.graph
+        edge = _absent_edge(graph)
+        summary = registry.mutate("g", add=[edge])
+        assert summary["epoch"] == 1 == entry.epoch
+        assert summary["added"] == 1 and summary["removed"] == 0
+        assert summary["num_edges"] == graph.num_edges + 1
+        assert entry.graph is not before
+        assert entry.graph.has_edge(*edge)
+        assert not before.has_edge(*edge)  # old snapshot untouched
+        assert registry.describe()[0]["epoch"] == 1
+
+    def test_mutate_compacts_past_threshold(self, graph):
+        registry = GraphRegistry()
+        entry = registry.add_graph("g", graph)
+        entry.compaction_threshold = 1
+        e1, e2 = _absent_edge(graph, 0), _absent_edge(graph, 1)
+        assert not registry.mutate("g", add=[e1])["compacted"]
+        summary = registry.mutate("g", add=[e2])
+        assert summary["compacted"] and summary["delta_edges"] == 0
+        # the rebuilt base keeps the epoch for repair validation
+        assert entry.graph.epoch == 2
+        assert isinstance(entry.graph, DeltaGraph)
+        assert entry.graph.delta_edges == 0
+
+    def test_bad_batch_leaves_entry_untouched(self, graph):
+        registry = GraphRegistry()
+        entry = registry.add_graph("g", graph)
+        with pytest.raises(GraphError):
+            registry.mutate("g", add=[[0, 0]])
+        assert entry.epoch == 0 and entry.graph is graph
+
+    def test_remove_and_hooks_share_one_path(self, graph):
+        registry = GraphRegistry()
+        registry.add_graph("g", graph)
+        invalidated = []
+        registry.add_invalidation_hook(invalidated.append)
+        registry.mutate("g", add=[_absent_edge(graph)])
+        registry.remove("g")
+        assert invalidated == ["g", "g"]
+        with pytest.raises(ServiceError, match="unknown graph"):
+            registry.get("g")
+        with pytest.raises(ServiceError, match="unknown graph"):
+            registry.remove("g")
+
+    def test_weight_cache_epoch_guarded(self, graph):
+        registry = GraphRegistry()
+        entry = registry.add_graph("g", graph)
+        warm = entry.poisson_weights(5.0)
+        assert entry.poisson_weights(5.0) is warm
+        registry.mutate("g", add=[_absent_edge(graph)])
+        rebuilt = entry.poisson_weights(5.0)
+        assert rebuilt is not warm
+        assert entry.poisson_weights(5.0) is rebuilt
+
+
+class TestIndexStaleness:
+    def test_mutation_detaches_and_marks_stale(self, graph):
+        registry = GraphRegistry()
+        registry.add_graph("g", graph)
+        index = build_walk_index(
+            graph, num_hubs=4, walks_per_sketch=100, t_values=[5.0], rng=0
+        )
+        registry.attach_index("g", index)
+        summary = registry.mutate("g", add=[_absent_edge(graph)])
+        assert summary["index_detached"]
+        entry = registry.get("g")
+        assert entry.index is None and entry.stale_indexes == 1
+        assert index.stale and index.describe()["stale"]
+        hub = index.indexed_nodes()[0]
+        with pytest.raises(WalkIndexError, match="stale walk index"):
+            index.lookup("poisson", hub, 5.0)
+
+    def test_stale_index_cannot_be_reattached(self, graph):
+        registry = GraphRegistry()
+        registry.add_graph("g", graph)
+        index = build_walk_index(
+            graph, num_hubs=2, walks_per_sketch=50, t_values=[5.0], rng=0
+        )
+        registry.mutate("g", add=[_absent_edge(graph)])
+        with pytest.raises(WalkIndexError):
+            registry.attach_index("g", index)
+
+    def test_current_epoch_index_attaches_to_overlay(self, graph):
+        """An index built against the *compacted* current overlay attaches:
+        compaction is byte-identical, so the fingerprint matches."""
+        registry = GraphRegistry()
+        registry.add_graph("g", graph)
+        registry.mutate("g", add=[_absent_edge(graph)])
+        entry = registry.get("g")
+        fresh = build_walk_index(
+            entry.csr_graph(), num_hubs=2, walks_per_sketch=50,
+            t_values=[5.0], rng=0,
+        )
+        registry.attach_index("g", fresh)
+        assert entry.index is fresh
+
+
+class TestServiceMutation:
+    @pytest.fixture
+    def service(self, graph):
+        registry = GraphRegistry()
+        registry.add_graph("g", graph)
+        with QueryService(registry, max_batch=4, cache_entries=32, rng=5) as svc:
+            yield svc
+
+    def test_epoch_keys_and_eager_eviction(self, service, graph):
+        first = service.query("g", "pr-nibble", 0, {"eps": 1e-3})
+        assert service.query("g", "pr-nibble", 0, {"eps": 1e-3}).cached
+        assert first.request.epoch == 0
+        assert len(service.cache) == 1
+
+        service.mutate_graph("g", add=[_absent_edge(graph)])
+        # hook evicted the graph's group eagerly...
+        assert len(service.cache) == 0
+        # ...and the epoch in the key makes stale results unreachable anyway
+        after = service.query("g", "pr-nibble", 0, {"eps": 1e-3})
+        assert not after.cached
+        assert after.request.epoch == 1
+        assert after.request.cache_key()[:2] == ("g", 1)
+
+    def test_walk_query_runs_on_overlay(self, service, graph):
+        service.mutate_graph("g", add=[_absent_edge(graph)])
+        entry = service.registry.get("g")
+        assert isinstance(entry.graph, DeltaGraph)
+        response = service.query(
+            "g", "monte-carlo", 0, {"t": 5.0, "num_walks": 500}
+        )
+        assert response.result.support_size() > 0
+        assert abs(response.result.estimates.sum() - 1.0) < 1e-9
+
+    def test_remove_graph_evicts_cache(self, service, graph):
+        service.query("g", "pr-nibble", 0, {"eps": 1e-3})
+        assert len(service.cache) == 1
+        service.remove_graph("g")
+        assert len(service.cache) == 0
+        with pytest.raises(ServiceError, match="unknown graph"):
+            service.query("g", "pr-nibble", 0, {"eps": 1e-3})
+
+    def test_stats_surface_epoch(self, service, graph):
+        service.mutate_graph("g", add=[_absent_edge(graph)])
+        storage = service.stats()["graph_storage"]["g"]
+        assert storage["epoch"] == 1
+        assert storage["delta_edges"] == 1
+        assert storage["stale_indexes"] == 0
+
+    def test_index_stale_metric_lands_in_service_registry(self, service, graph):
+        index = build_walk_index(
+            graph, num_hubs=2, walks_per_sketch=50, t_values=[5.0], rng=0
+        )
+        service.registry.attach_index("g", index)
+        service.mutate_graph("g", add=[_absent_edge(graph)])
+        exposition = service.render_metrics()
+        assert 'index_stale_total{graph="g"} 1' in exposition
+
+
+class TestInvalidateGroup:
+    def test_counts_and_scopes_to_group(self):
+        cache = ResultCache(16, group_of=lambda key: str(key[0]))
+        cache.put(("a", 1), "x")
+        cache.put(("a", 2), "y")
+        cache.put(("b", 1), "z")
+        assert cache.invalidate_group("a") == 2
+        assert len(cache) == 1
+        assert cache.get(("b", 1)) == "z"
+        assert cache.invalidate_group("missing") == 0
+
+    def test_no_group_fn_is_a_noop(self):
+        cache = ResultCache(4)
+        cache.put("k", "v")
+        assert cache.invalidate_group("k") == 0
+        assert cache.get("k") == "v"
+
+
+class TestHTTPMutation:
+    @pytest.fixture
+    def server(self, graph):
+        registry = GraphRegistry()
+        registry.add_graph("g", graph)
+        with QueryService(registry, max_batch=4, cache_entries=32, rng=5) as svc:
+            httpd, _thread = serve_in_thread(svc, port=0)
+            try:
+                yield f"http://127.0.0.1:{httpd.server_address[1]}", svc
+            finally:
+                httpd.shutdown()
+
+    @staticmethod
+    def _post(base, path, payload):
+        request = urllib.request.Request(
+            base + path,
+            data=json.dumps(payload).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=10.0) as response:
+                return response.status, json.loads(response.read())
+        except urllib.error.HTTPError as error:
+            return error.code, json.loads(error.read())
+
+    def test_post_edges_mutates_and_reports(self, server, graph):
+        base, svc = server
+        edge = _absent_edge(graph)
+        status, summary = self._post(base, "/graphs/g/edges", {"add": [edge]})
+        assert status == 200
+        assert summary["epoch"] == 1
+        assert summary["num_edges"] == graph.num_edges + 1
+        status, summary = self._post(
+            base, "/graphs/g/edges", {"remove": [edge]}
+        )
+        assert status == 200 and summary["epoch"] == 2
+        assert summary["num_edges"] == graph.num_edges
+
+    def test_post_edges_error_mapping(self, server, graph):
+        base, _svc = server
+        status, body = self._post(base, "/graphs/nope/edges", {"add": [[0, 1]]})
+        assert status == 404 and "unknown graph" in body["error"]
+        status, body = self._post(base, "/graphs/g/edges", {"add": [[0, 0]]})
+        assert status == 400 and "self-loop" in body["error"]
+        status, body = self._post(base, "/graphs/g/edges", {"bogus": 1})
+        assert status == 400 and "unknown field" in body["error"]
+        status, body = self._post(base, "/graphs/g/edges", {"add": "0,1"})
+        assert status == 400 and "lists" in body["error"]
+        status, body = self._post(base, "/graphs//edges", {"add": [[0, 1]]})
+        assert status == 404
+
+    def test_delete_graph(self, server, graph):
+        base, svc = server
+        request = urllib.request.Request(base + "/graphs/g", method="DELETE")
+        with urllib.request.urlopen(request, timeout=10.0) as response:
+            assert response.status == 200
+            assert json.loads(response.read()) == {"removed": "g"}
+        assert svc.registry.names() == []
+        request = urllib.request.Request(base + "/graphs/g", method="DELETE")
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10.0)
+        assert excinfo.value.code == 404
+
+    def test_queries_correct_across_mutation(self, server, graph):
+        """The smoke scenario: query, mutate over HTTP, query again."""
+        base, svc = server
+        before = svc.query("g", "pr-nibble", 0, {"eps": 1e-3})
+        edge = _absent_edge(graph)
+        status, _ = self._post(base, "/graphs/g/edges", {"add": [edge]})
+        assert status == 200
+        after = svc.query("g", "pr-nibble", 0, {"eps": 1e-3})
+        assert not after.cached
+        assert after.request.epoch == 1
+        # both are valid degree-normalized PPR approximations of their
+        # own snapshot; the mutation touched the seed's component so the
+        # estimates must be finite and normalized either way
+        assert np.isfinite(list(after.result.estimates.values())).all()
